@@ -1,0 +1,114 @@
+// Ablation A1: one-way vs two-way update discipline. The paper adopts the
+// standard one-way protocol (only the initiator updates; footnote 3). The
+// two-way variant doubles the per-agent update rate without changing the
+// up/down ratio, so Theorem 2.7's stationary census should be unchanged
+// while convergence roughly doubles in speed — a free 2x if the application
+// allows symmetric updates.
+#include <iostream>
+
+#include "ppg/core/igt_count_chain.hpp"
+#include "ppg/core/igt_protocol.hpp"
+#include "ppg/stats/empirical.hpp"
+#include "ppg/stats/summary.hpp"
+#include "ppg/util/table.hpp"
+
+namespace {
+
+using namespace ppg;
+
+std::vector<double> stationary_census(const abg_population& pop,
+                                      std::size_t k,
+                                      igt_discipline discipline,
+                                      std::uint64_t seed) {
+  const igt_protocol proto(k, discipline);
+  simulation sim(proto,
+                 population(make_igt_population_states(pop, k, 0), 2 + k),
+                 rng(seed), pair_sampling::with_replacement);
+  sim.run(400'000);
+  std::vector<double> occupancy(k, 0.0);
+  const std::uint64_t samples = 400'000;
+  for (std::uint64_t i = 0; i < samples; ++i) {
+    sim.step();
+    const auto census = gtft_level_counts(sim.agents(), k);
+    for (std::size_t j = 0; j < k; ++j) {
+      occupancy[j] += static_cast<double>(census[j]);
+    }
+  }
+  for (auto& x : occupancy) {
+    x /= static_cast<double>(samples) * static_cast<double>(pop.num_gtft);
+  }
+  return occupancy;
+}
+
+std::uint64_t hitting_time(const abg_population& pop, std::size_t k,
+                           igt_discipline discipline, std::uint64_t seed) {
+  const auto probs = igt_stationary_probs(pop, k);
+  double target = 0.0;
+  for (std::size_t j = 0; j < k; ++j) {
+    target += static_cast<double>(j) * probs[j];
+  }
+  target *= 0.9;
+  const igt_protocol proto(k, discipline);
+  simulation sim(proto,
+                 population(make_igt_population_states(pop, k, 0), 2 + k),
+                 rng(seed), pair_sampling::with_replacement);
+  for (std::uint64_t t = 1; t <= 100'000'000; ++t) {
+    sim.step();
+    if (t % 32 != 0) continue;
+    const auto census = gtft_level_counts(sim.agents(), k);
+    double mean_level = 0.0;
+    for (std::size_t j = 0; j < k; ++j) {
+      mean_level += static_cast<double>(j) * static_cast<double>(census[j]);
+    }
+    if (mean_level / static_cast<double>(pop.num_gtft) >= target) return t;
+  }
+  return 100'000'000;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== A1: one-way vs two-way IGT update discipline ===\n\n";
+
+  const std::size_t k = 6;
+  std::cout << "(a) stationary census is discipline-invariant (TV vs "
+               "Theorem 2.7)\n";
+  text_table census_table({"beta", "TV one-way", "TV two-way"});
+  for (const double beta : {0.15, 0.3, 0.5}) {
+    const auto pop =
+        abg_population::from_fractions(300, 0.1, beta, 0.9 - beta);
+    const auto expected = igt_stationary_probs(pop, k);
+    const auto one = stationary_census(pop, k, igt_discipline::one_way, 31);
+    const auto two = stationary_census(pop, k, igt_discipline::two_way, 32);
+    census_table.add_row({fmt(pop.beta(), 2),
+                          fmt(total_variation(one, expected), 4),
+                          fmt(total_variation(two, expected), 4)});
+  }
+  census_table.print(std::cout);
+
+  std::cout << "\n(b) convergence speedup (hitting-time proxy, mean of 6 "
+               "seeds)\n";
+  text_table speed_table({"n", "one-way", "two-way", "speedup"});
+  for (const std::size_t n : {300u, 600u, 1200u}) {
+    const auto pop = abg_population::from_fractions(n, 0.1, 0.2, 0.7);
+    running_summary one;
+    running_summary two;
+    for (std::uint64_t s = 0; s < 6; ++s) {
+      one.add(static_cast<double>(
+          hitting_time(pop, k, igt_discipline::one_way, 40 + s)));
+      two.add(static_cast<double>(
+          hitting_time(pop, k, igt_discipline::two_way, 50 + s)));
+    }
+    speed_table.add_row(
+        {std::to_string(n),
+         fmt_count(static_cast<std::uint64_t>(one.mean())),
+         fmt_count(static_cast<std::uint64_t>(two.mean())),
+         fmt(one.mean() / two.mean(), 2)});
+  }
+  speed_table.print(std::cout);
+
+  std::cout << "\nExpected shape: both disciplines hit the Theorem 2.7 "
+               "census (TV ~ 0.01); the\ntwo-way variant converges ~2x "
+               "faster (each interaction performs up to two updates).\n";
+  return 0;
+}

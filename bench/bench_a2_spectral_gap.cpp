@@ -1,0 +1,72 @@
+// Ablation A2: spectral view of Theorem 2.5. The relaxation time
+// t_rel = 1/(spectral gap) of the exact Ehrenfest operator gives an
+// independent bracket on t_mix ((t_rel - 1) log 2 <= t_mix <=
+// t_rel log(1/(eps pi_min))). This bench compares, per parameter point:
+// the measured t_mix, the coupling-based Theorem 2.5 upper bound, the
+// diameter lower bound, and the spectral bracket — and reports how the gap
+// itself scales with k, m, and the bias.
+#include <iostream>
+
+#include "ppg/ehrenfest/bounds.hpp"
+#include "ppg/ehrenfest/exact_chain.hpp"
+#include "ppg/markov/mixing.hpp"
+#include "ppg/markov/spectral.hpp"
+#include "ppg/util/table.hpp"
+
+int main() {
+  using namespace ppg;
+  std::cout << "=== A2: spectral gap vs coupling bounds (Theorem 2.5) "
+               "===\n\n";
+
+  text_table table({"k", "m", "a", "b", "gap", "t_rel", "measured t_mix",
+                    "spectral lower", "spectral upper", "Thm2.5 lower",
+                    "Thm2.5 upper"});
+  for (const auto& params :
+       {ehrenfest_params{2, 0.25, 0.25, 16}, ehrenfest_params{2, 0.35, 0.15, 16},
+        ehrenfest_params{3, 0.25, 0.25, 10}, ehrenfest_params{3, 0.35, 0.15, 10},
+        ehrenfest_params{4, 0.25, 0.25, 8}, ehrenfest_params{4, 0.4, 0.1, 8},
+        ehrenfest_params{6, 0.3, 0.15, 5}}) {
+    const simplex_index index(params.k, params.m);
+    const auto chain = build_ehrenfest_chain(params, index);
+    const auto pi = exact_stationary_vector(params, index);
+    const auto corners = find_corner_states(index);
+    const auto measured = mixing_time_from_starts(
+        chain, {corners.bottom, corners.top}, pi, 0.25, 50'000'000);
+    const auto spectral = estimate_slem(chain, pi, 1e-13, 3'000'000);
+    const auto bracket = mixing_bounds_from_relaxation(spectral, pi);
+    table.add_row({std::to_string(params.k), std::to_string(params.m),
+                   fmt(params.a, 2), fmt(params.b, 2),
+                   fmt_sci(spectral.spectral_gap, 2),
+                   fmt(spectral.relaxation_time, 1), fmt_count(measured),
+                   fmt(bracket.lower, 0), fmt(bracket.upper, 0),
+                   fmt(mixing_lower_bound(params), 0),
+                   fmt(mixing_upper_bound(params), 0)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nGap scaling (a = b = 0.25): the classic k = 2 urn has gap "
+               "(a+b)/m exactly;\nhigher k shrinks the gap further\n";
+  text_table gap_table({"k", "m", "gap", "gap * m / (a+b)"});
+  for (const auto& params :
+       {ehrenfest_params{2, 0.25, 0.25, 8}, ehrenfest_params{2, 0.25, 0.25, 16},
+        ehrenfest_params{3, 0.25, 0.25, 8}, ehrenfest_params{4, 0.25, 0.25, 8},
+        ehrenfest_params{5, 0.25, 0.25, 6}}) {
+    const simplex_index index(params.k, params.m);
+    const auto chain = build_ehrenfest_chain(params, index);
+    const auto pi = exact_stationary_vector(params, index);
+    const auto spectral = estimate_slem(chain, pi, 1e-13, 3'000'000);
+    gap_table.add_row({std::to_string(params.k), std::to_string(params.m),
+                       fmt_sci(spectral.spectral_gap, 3),
+                       fmt(spectral.spectral_gap *
+                               static_cast<double>(params.m) /
+                               (params.a + params.b),
+                           3)});
+  }
+  gap_table.print(std::cout);
+
+  std::cout << "\nExpected shape: measured t_mix inside both brackets; for "
+               "k = 2 the normalized gap\nis exactly 1; for k > 2 it drops "
+               "below 1 (slower relaxation), consistent with the\nk-"
+               "dependence of Theorem 2.5.\n";
+  return 0;
+}

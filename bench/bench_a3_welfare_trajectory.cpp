@@ -1,0 +1,80 @@
+// Ablation A3: the emergence of cooperation as a welfare trajectory. From
+// an all-stingy start (every GTFT agent at g_1 = 0), the k-IGT dynamics
+// climbs the generosity ladder; this bench tracks the population's average
+// generosity and per-interaction welfare over parallel time, across beta
+// regimes — the dynamic picture behind the stationary results of E3/E4.
+#include <iostream>
+
+#include "ppg/core/equilibrium.hpp"
+#include "ppg/core/igt_protocol.hpp"
+#include "ppg/core/igt_count_chain.hpp"
+#include "ppg/util/table.hpp"
+
+int main() {
+  using namespace ppg;
+  std::cout << "=== A3: welfare trajectories of the k-IGT dynamics ===\n\n";
+
+  const std::size_t n = 400;
+  const std::size_t k = 6;
+  const double g_max = 0.6;
+  const rd_setting setting{4.0, 1.0, 0.8, 0.95};
+  const auto grid = generosity_grid(k, g_max);
+  const auto payoffs = full_payoff_matrix(setting, k, g_max);
+
+  std::cout << "Game: b = " << setting.b << ", c = " << setting.c
+            << ", delta = " << setting.delta << "; n = " << n
+            << ", k = " << k << ", all GTFT agents start at g = 0\n\n";
+
+  for (const double beta : {0.1, 0.3, 0.6}) {
+    const double alpha = 0.1;
+    const auto pop =
+        abg_population::from_fractions(n, alpha, beta, 0.9 - beta);
+    const igt_protocol proto(k);
+    simulation sim(proto,
+                   population(make_igt_population_states(pop, k, 0), 2 + k),
+                   rng(2025), pair_sampling::with_replacement);
+
+    std::cout << "beta = " << fmt(pop.beta(), 2)
+              << " (lambda = " << fmt(pop.lambda(), 2) << ")\n";
+    text_table table({"parallel time", "avg generosity", "welfare/round",
+                      "welfare bar"});
+    const std::uint64_t horizon = 60 * n;  // 60 units of parallel time
+    const std::uint64_t stride = 6 * n;
+    double peak_welfare = 0.0;
+    std::vector<std::vector<std::string>> rows;
+    for (std::uint64_t t = 0; t <= horizon; t += stride) {
+      if (t > 0) sim.run(stride);
+      const auto census = gtft_level_counts(sim.agents(), k);
+      std::vector<double> mu(k);
+      double avg_g = 0.0;
+      for (std::size_t j = 0; j < k; ++j) {
+        mu[j] = static_cast<double>(census[j]) /
+                static_cast<double>(pop.num_gtft);
+        avg_g += grid[j] * mu[j];
+      }
+      const auto mu_hat = induced_full_distribution(
+          mu, pop.alpha(), pop.beta(), pop.gamma());
+      const double welfare = population_welfare(payoffs, mu_hat) /
+                             setting.to_game().expected_rounds();
+      peak_welfare = std::max(peak_welfare, welfare);
+      rows.push_back({fmt(static_cast<double>(t) / static_cast<double>(n), 0),
+                      fmt(avg_g, 3), fmt(welfare, 3), ""});
+    }
+    // Render bars relative to the trajectory's peak.
+    for (auto& row : rows) {
+      const double w = std::stod(row[2]);
+      const auto len = static_cast<std::size_t>(
+          std::max(0.0, w / peak_welfare) * 30.0);
+      row[3] = std::string(len, '#');
+      table.add_row(row);
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+
+  std::cout << "Expected shape: for small beta, generosity and welfare climb "
+               "together and\nsaturate near the stationary values within "
+               "O(k log n) parallel time; for large\nbeta the climb stalls "
+               "near the bottom and welfare stays depressed by defection.\n";
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Ablation A4 (the Section 1.1.2 discussion): why generosity? Under
+// execution noise — a cooperative action occasionally replaced by defection
+// — two TFT players fall into retaliation spirals and lose most of the
+// cooperative surplus, while generous TFT recovers. This bench quantifies
+// the effect with the exact payoff oracle (noise folded exactly into the
+// strategy via the `perturbed` map) and locates the optimal generosity as a
+// function of the noise rate.
+#include <iostream>
+
+#include "ppg/games/exact_payoff.hpp"
+#include "ppg/games/strategy.hpp"
+#include "ppg/util/table.hpp"
+
+namespace {
+
+using namespace ppg;
+
+// Mutual expected payoff of two identical noisy strategies.
+double mutual_payoff(const repeated_donation_game& rdg,
+                     const memory_one_strategy& s, double noise) {
+  const auto noisy = perturbed(s, noise);
+  return expected_payoff(rdg, noisy, noisy);
+}
+
+}  // namespace
+
+int main() {
+  const repeated_donation_game rdg{{3.0, 1.0}, 0.95};
+  const double s1 = 1.0;
+  const double full_cooperation =
+      expected_payoff(rdg, always_cooperate(), always_cooperate());
+
+  std::cout << "=== A4: noise robustness — the case for generosity "
+               "(Section 1.1.2) ===\n\n";
+  std::cout << "b = 3, c = 1, delta = 0.95; mutual payoff of two identical "
+               "strategies,\nas a fraction of the full-cooperation payoff "
+            << fmt(full_cooperation, 1) << "\n\n";
+
+  text_table table({"noise", "TFT (g=0)", "GTFT(0.1)", "GTFT(0.3)",
+                    "GTFT(0.5)", "AC"});
+  for (const double noise : {0.0, 0.005, 0.01, 0.02, 0.05, 0.1}) {
+    auto cell = [&](const memory_one_strategy& s) {
+      return fmt(mutual_payoff(rdg, s, noise) / full_cooperation, 3);
+    };
+    table.add_row({fmt(noise, 3), cell(tit_for_tat(s1)),
+                   cell(generous_tit_for_tat(0.1, s1)),
+                   cell(generous_tit_for_tat(0.3, s1)),
+                   cell(generous_tit_for_tat(0.5, s1)),
+                   cell(always_cooperate())});
+  }
+  table.print(std::cout);
+
+  // Against a pure mirror more generosity always helps; the interesting
+  // trade-off needs defectors in the pool (generosity bleeds against AD).
+  // Opponent pool: 80% GTFT mirror, 20% AD, everyone noisy.
+  std::cout << "\nOptimal generosity against a noisy pool (80% GTFT mirror "
+               "+ 20% AD):\n";
+  text_table opt_table({"noise", "best g", "pool payoff at best g",
+                        "pool payoff at g=0"});
+  auto pool_payoff = [&](double g, double noise) {
+    const auto self = perturbed(generous_tit_for_tat(g, s1), noise);
+    const auto mirror = self;
+    const auto defector = perturbed(always_defect(), noise);
+    return 0.8 * expected_payoff(rdg, self, mirror) +
+           0.2 * expected_payoff(rdg, self, defector);
+  };
+  for (const double noise : {0.005, 0.02, 0.05, 0.1}) {
+    double best_g = 0.0;
+    double best_value = -1e300;
+    for (int i = 0; i <= 100; ++i) {
+      const double g = i / 100.0;
+      const double value = pool_payoff(g, noise);
+      if (value > best_value) {
+        best_value = value;
+        best_g = g;
+      }
+    }
+    opt_table.add_row({fmt(noise, 3), fmt(best_g, 2), fmt(best_value, 3),
+                       fmt(pool_payoff(0.0, noise), 3)});
+  }
+  opt_table.print(std::cout);
+
+  std::cout
+      << "\nExpected shape: at zero noise TFT achieves full cooperation; "
+         "noise drags mutual TFT\ntoward the alternating-retaliation "
+         "plateau while even small generosity recovers most\nof the surplus "
+         "— the paper's stated motivation for the GTFT family. With "
+         "defectors in\nthe pool the optimum is interior: generous enough "
+         "to absorb noise, not so generous as\nto subsidize AD.\n";
+  return 0;
+}

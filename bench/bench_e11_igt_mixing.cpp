@@ -1,0 +1,118 @@
+// Experiment E11 (Theorem 2.7, mixing): convergence time of the k-IGT
+// dynamics in total population interactions.
+//   upper bound: O(min{k/|1-2 beta|, k^2} n log n), lower bound Omega(kn).
+// Exact TV measurement is infeasible for realistic n (the state space is
+// the whole simplex), so we measure a standard proxy on the simulated
+// count chain: the first time the census TV-matches its stationary marginal
+// expectation within 0.1, averaged over seeds, from the worst (all-bottom
+// or all-top) start. Scaling in k, n, and beta is the object of interest.
+#include <cmath>
+#include <iostream>
+
+#include "ppg/core/igt_count_chain.hpp"
+#include "ppg/stats/empirical.hpp"
+#include "ppg/stats/summary.hpp"
+#include "ppg/util/table.hpp"
+
+namespace {
+
+using namespace ppg;
+
+// First interaction count at which the *instantaneous* census is within
+// `tol` TV of the stationary marginal, starting from the worse corner.
+// (The instantaneous census is a random vector; for m balls its TV to the
+// mean is noisy, so tol must be above the sampling noise floor.)
+double census_hitting_time(const abg_population& pop, std::size_t k,
+                           double tol, std::uint64_t seed) {
+  const auto probs = igt_stationary_probs(pop, k);
+  // Worst corner: all mass at the level with the *least* stationary mass.
+  const std::size_t start =
+      probs.front() < probs.back() ? 0 : k - 1;
+  igt_count_chain chain(pop, k, start);
+  rng gen(seed);
+  const std::uint64_t cap = 200'000'000;
+  std::vector<double> census(k);
+  for (std::uint64_t t = 1; t <= cap; ++t) {
+    chain.step(gen);
+    if (t % 64 != 0) continue;  // check periodically
+    const auto& z = chain.counts();
+    for (std::size_t j = 0; j < k; ++j) {
+      census[j] = static_cast<double>(z[j]) /
+                  static_cast<double>(pop.num_gtft);
+    }
+    if (total_variation(census, probs) <= tol) {
+      return static_cast<double>(t);
+    }
+  }
+  return static_cast<double>(cap);
+}
+
+double mean_hitting(const abg_population& pop, std::size_t k, int seeds) {
+  running_summary s;
+  for (int i = 0; i < seeds; ++i) {
+    s.add(census_hitting_time(pop, k, 0.1,
+                              1000 + static_cast<std::uint64_t>(i)));
+  }
+  return s.mean();
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== E11: k-IGT mixing-time scaling (Theorem 2.7) ===\n\n";
+  constexpr int seeds = 6;
+
+  std::cout << "(a) scaling in k (n = 1000, beta = 0.2): time/k should "
+               "stabilize between the bounds\n";
+  text_table k_table({"k", "hitting time", "time/k", "lower kn/2 bound",
+                      "upper bound"});
+  const auto pop = abg_population::from_fractions(1000, 0.1, 0.2, 0.7);
+  for (const std::size_t k : {2u, 4u, 8u, 16u}) {
+    const double t = mean_hitting(pop, k, seeds);
+    k_table.add_row(
+        {std::to_string(k), fmt_count(static_cast<std::uint64_t>(t)),
+         fmt(t / static_cast<double>(k), 0),
+         fmt_count(
+             static_cast<std::uint64_t>(igt_mixing_lower_bound(pop, k))),
+         fmt_count(
+             static_cast<std::uint64_t>(igt_mixing_upper_bound(pop, k)))});
+  }
+  k_table.print(std::cout);
+
+  std::cout << "\n(b) scaling in n (k = 6, beta = 0.2): time/(n log n) "
+               "should stabilize\n";
+  text_table n_table({"n", "hitting time", "time/(n log n)"});
+  for (const std::size_t n : {250u, 500u, 1000u, 2000u, 4000u}) {
+    const auto pop_n = abg_population::from_fractions(n, 0.1, 0.2, 0.7);
+    const double t = mean_hitting(pop_n, 6, seeds);
+    n_table.add_row(
+        {std::to_string(n), fmt_count(static_cast<std::uint64_t>(t)),
+         fmt(t / (static_cast<double>(n) * std::log(static_cast<double>(n))),
+             2)});
+  }
+  n_table.print(std::cout);
+
+  std::cout << "\n(c) beta sweep (n = 1000, k = 8): slowdown near beta = "
+               "1/2 (the |1-2 beta| effect)\n";
+  text_table b_table({"beta", "|1-2 beta|", "hitting time",
+                      "min{k/|1-2b|, k^2}"});
+  for (const double beta : {0.1, 0.2, 0.3, 0.4, 0.45, 0.5, 0.6, 0.7}) {
+    const auto pop_b =
+        abg_population::from_fractions(1000, 0.1, beta, 0.9 - beta);
+    const double t = mean_hitting(pop_b, 8, seeds);
+    const double gap = std::abs(1.0 - 2.0 * pop_b.beta());
+    const double factor =
+        gap < 1e-12 ? 64.0 : std::min(8.0 / gap, 64.0);
+    b_table.add_row({fmt(pop_b.beta(), 2), fmt(gap, 2),
+                     fmt_count(static_cast<std::uint64_t>(t)),
+                     fmt(factor, 1)});
+  }
+  b_table.print(std::cout);
+
+  std::cout << "\nExpected shape: (a) linear-in-k growth; (b) mild "
+               "super-linear growth in n\nconsistent with n log n; (c) a "
+               "slowdown peak around beta = 1/2, the regime where\nthe "
+               "embedded Ehrenfest chain loses its drift (Theorem 2.7's "
+               "case distinction).\n";
+  return 0;
+}

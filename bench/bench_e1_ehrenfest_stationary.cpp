@@ -1,0 +1,93 @@
+// Experiment E1 (Theorem 2.4): the stationary distribution of the
+// (k, a, b, m)-Ehrenfest process is multinomial with p_j ∝ lambda^{j-1}.
+//
+// Two independent validations:
+//  (a) exact — on fully enumerated state spaces, the multinomial PMF
+//      satisfies the detailed balance equations to machine precision and
+//      matches the stationary vector obtained by direct linear solve;
+//  (b) simulated — long-run marginal urn occupancy of the O(1)-per-step
+//      coordinate-walk simulation matches the closed form (TV distance and
+//      chi-square on pooled ball counts).
+#include <iostream>
+
+#include "ppg/ehrenfest/coordinate_walk.hpp"
+#include "ppg/ehrenfest/exact_chain.hpp"
+#include "ppg/ehrenfest/stationary.hpp"
+#include "ppg/markov/stationary.hpp"
+#include "ppg/stats/chi_square.hpp"
+#include "ppg/stats/empirical.hpp"
+#include "ppg/util/table.hpp"
+#include "ppg/util/timer.hpp"
+
+int main() {
+  using namespace ppg;
+  std::cout << "=== E1: stationary law of the (k,a,b,m)-Ehrenfest process "
+               "(Theorem 2.4) ===\n\n";
+
+  std::cout << "(a) exact verification on enumerated state spaces\n";
+  text_table exact_table({"k", "m", "lambda", "|states|",
+                          "detailed-balance residual",
+                          "TV(multinomial, solved)"});
+  for (const auto& params :
+       {ehrenfest_params{2, 0.3, 0.15, 24}, ehrenfest_params{3, 0.3, 0.15, 12},
+        ehrenfest_params{3, 0.2, 0.2, 12}, ehrenfest_params{4, 0.1, 0.4, 8},
+        ehrenfest_params{5, 0.35, 0.1, 6}, ehrenfest_params{6, 0.25, 0.25, 5}}) {
+    const simplex_index index(params.k, params.m);
+    const auto chain = build_ehrenfest_chain(params, index);
+    const auto pi = exact_stationary_vector(params, index);
+    const auto solved = solve_stationary(chain);
+    exact_table.add_row(
+        {std::to_string(params.k), std::to_string(params.m),
+         fmt(params.lambda(), 2), fmt_count(index.size()),
+         fmt_sci(chain.detailed_balance_residual(pi), 2),
+         fmt_sci(total_variation(pi, solved), 2)});
+  }
+  exact_table.print(std::cout);
+
+  std::cout << "\n(b) simulation: long-run urn occupancy vs closed form\n";
+  text_table sim_table({"k", "m", "lambda", "samples", "TV(occupancy)",
+                        "chi2 p-value", "sim seconds"});
+  rng gen(42);
+  for (const auto& params :
+       {ehrenfest_params{2, 0.3, 0.15, 100}, ehrenfest_params{4, 0.3, 0.15, 100},
+        ehrenfest_params{8, 0.3, 0.15, 100}, ehrenfest_params{8, 0.15, 0.3, 100},
+        ehrenfest_params{16, 0.25, 0.25, 200},
+        ehrenfest_params{16, 0.28, 0.14, 200}}) {
+    timer clock;
+    coordinate_walk walk(params, 0);
+    const std::uint64_t burn = 400ull * params.m * params.k;
+    walk.run(burn, gen);
+    std::vector<double> occupancy(params.k, 0.0);
+    std::vector<std::uint64_t> pooled(params.k, 0);
+    const std::uint64_t samples = 400'000;
+    for (std::uint64_t i = 0; i < samples; ++i) {
+      walk.step(gen);
+      for (std::size_t j = 0; j < params.k; ++j) {
+        occupancy[j] += static_cast<double>(walk.counts()[j]);
+      }
+    }
+    // Pool decorrelated snapshots for the chi-square test.
+    constexpr int snapshots = 300;
+    for (int s = 0; s < snapshots; ++s) {
+      walk.run(20ull * params.m, gen);
+      for (std::size_t j = 0; j < params.k; ++j) {
+        pooled[j] += walk.counts()[j];
+      }
+    }
+    for (auto& x : occupancy) {
+      x /= static_cast<double>(samples) * static_cast<double>(params.m);
+    }
+    const auto expected = ehrenfest_stationary_probs(params);
+    const auto gof = chi_square_gof(pooled, expected);
+    sim_table.add_row({std::to_string(params.k), std::to_string(params.m),
+                       fmt(params.lambda(), 2), fmt_count(samples),
+                       fmt(total_variation(occupancy, expected), 4),
+                       fmt(gof.p_value, 3), fmt(clock.seconds(), 2)});
+  }
+  sim_table.print(std::cout);
+  std::cout << "\nExpected shape: residuals at machine precision in (a); TV "
+               "below ~0.01 in (b).\nNote: pooled snapshots are weakly "
+               "correlated, so occasional moderate p-values are expected;\n"
+               "the TV column is the primary check.\n";
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Experiment E3 (Theorem 2.7): the k-IGT dynamics' level census is exactly
+// a (k, gamma(1-beta), gamma*beta, gamma*n)-Ehrenfest process; its
+// stationary distribution is multinomial with p_j ∝ (1/beta - 1)^{j-1}.
+//
+// The full agent-level population protocol is simulated (both pair-sampling
+// disciplines) and the time-averaged census is compared to the closed form
+// across beta regimes.
+#include <iostream>
+
+#include "ppg/core/igt_count_chain.hpp"
+#include "ppg/core/igt_protocol.hpp"
+#include "ppg/stats/empirical.hpp"
+#include "ppg/util/table.hpp"
+#include "ppg/util/timer.hpp"
+
+namespace {
+
+std::vector<double> time_averaged_census(ppg::simulation& sim, std::size_t k,
+                                         std::uint64_t samples,
+                                         std::uint64_t gtft_count) {
+  using namespace ppg;
+  std::vector<double> occupancy(k, 0.0);
+  for (std::uint64_t i = 0; i < samples; ++i) {
+    sim.step();
+    const auto census = gtft_level_counts(sim.agents(), k);
+    for (std::size_t j = 0; j < k; ++j) {
+      occupancy[j] += static_cast<double>(census[j]);
+    }
+  }
+  for (auto& x : occupancy) {
+    x /= static_cast<double>(samples) * static_cast<double>(gtft_count);
+  }
+  return occupancy;
+}
+
+}  // namespace
+
+int main() {
+  using namespace ppg;
+  std::cout << "=== E3: stationary census of the k-IGT dynamics "
+               "(Theorem 2.7) ===\n\n";
+
+  const std::size_t n = 400;
+  const std::size_t k = 6;
+  std::cout << "n = " << n << " agents, alpha = 0.1, k = " << k
+            << " levels; agent-level simulation of Definition 2.1.\n\n";
+
+  text_table table({"beta", "lambda", "sampling", "TV(census, Thm 2.7)",
+                    "top-level mass (sim)", "top-level mass (theory)",
+                    "seconds"});
+  for (const double beta : {0.1, 0.2, 1.0 / 3.0, 0.5, 0.7}) {
+    const double alpha = 0.1;
+    const auto pop = abg_population::from_fractions(n, alpha, beta,
+                                                    1.0 - alpha - beta);
+    const auto expected = igt_stationary_probs(pop, k);
+    for (const auto sampling :
+         {pair_sampling::distinct, pair_sampling::with_replacement}) {
+      timer clock;
+      const igt_protocol proto(k);
+      simulation sim(proto,
+                     population(make_igt_population_states(pop, k, 0), 2 + k),
+                     rng(1234 + static_cast<std::uint64_t>(beta * 100)),
+                     sampling);
+      sim.run(static_cast<std::uint64_t>(igt_mixing_upper_bound(pop, k)));
+      const auto census = time_averaged_census(sim, k, 500'000, pop.num_gtft);
+      const double lambda = (1.0 - pop.beta()) / pop.beta();
+      table.add_row(
+          {fmt(pop.beta(), 3), fmt(lambda, 2),
+           sampling == pair_sampling::distinct ? "distinct" : "replace",
+           fmt(total_variation(census, expected), 4), fmt(census[k - 1], 4),
+           fmt(expected[k - 1], 4), fmt(clock.seconds(), 2)});
+    }
+  }
+  table.print(std::cout);
+
+  std::cout
+      << "\nExpected shape: TV below ~0.01 for both sampling disciplines\n"
+         "(the paper's idealized probabilities differ from the distinct-\n"
+         "pair model by O(1/n)); top-level mass decreases as beta grows,\n"
+         "crossing 1/k at beta = 1/2.\n";
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Experiment E4 (Proposition 2.8 / Corollary C.1): the average stationary
+// generosity of the k-IGT dynamics. Simulated time-averages are compared
+// against the closed form
+//   g_avg = g_max (lambda^k/(lambda^k - 1)
+//           - (1/(k-1))(lambda/(lambda-1))(lambda^{k-1}-1)/(lambda^k-1)),
+// and against the Corollary C.1 lower bound g_max(1 - 1/((lambda-1)(k-1)))
+// for beta < 1/2. The 1/k approach to g_max (and to 0 for beta > 1/2) is
+// the quantitative signature.
+#include <iostream>
+
+#include "ppg/core/igt_count_chain.hpp"
+#include "ppg/core/theory.hpp"
+#include "ppg/games/strategy.hpp"
+#include "ppg/util/table.hpp"
+
+namespace {
+
+double simulated_average_generosity(const ppg::abg_population& pop,
+                                    std::size_t k, double g_max,
+                                    ppg::rng& gen) {
+  using namespace ppg;
+  const auto grid = generosity_grid(k, g_max);
+  igt_count_chain chain(pop, k, 0);
+  chain.run(static_cast<std::uint64_t>(igt_mixing_upper_bound(pop, k)), gen);
+  double total = 0.0;
+  const std::uint64_t samples = 300'000;
+  for (std::uint64_t i = 0; i < samples; ++i) {
+    chain.step(gen);
+    double g_bar = 0.0;
+    for (std::size_t j = 0; j < k; ++j) {
+      g_bar += grid[j] * static_cast<double>(chain.counts()[j]);
+    }
+    total += g_bar / static_cast<double>(pop.num_gtft);
+  }
+  return total / static_cast<double>(samples);
+}
+
+}  // namespace
+
+int main() {
+  using namespace ppg;
+  std::cout << "=== E4: average stationary generosity (Proposition 2.8, "
+               "Corollary C.1) ===\n\n";
+  const double g_max = 0.8;
+  const std::size_t n = 500;
+  rng gen(77);
+
+  std::cout << "(a) beta sweep at k = 8, g_max = " << g_max << "\n";
+  text_table beta_table({"beta", "simulated", "closed form (P2.8)",
+                         "C.1 lower bound"});
+  for (const double beta : {0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.8}) {
+    const auto pop =
+        abg_population::from_fractions(n, 0.1, beta, 0.9 - beta);
+    const double sim = simulated_average_generosity(pop, 8, g_max, gen);
+    const double closed =
+        average_stationary_generosity(pop.beta(), 8, g_max);
+    const std::string bound =
+        pop.beta() < 0.5
+            ? fmt(average_generosity_lower_bound(pop.beta(), 8, g_max), 4)
+            : "n/a";
+    beta_table.add_row({fmt(pop.beta(), 3), fmt(sim, 4), fmt(closed, 4),
+                        bound});
+  }
+  beta_table.print(std::cout);
+
+  std::cout << "\n(b) k sweep at beta = 0.25 (lambda = 3): the gap to g_max "
+               "decays as 1/k\n";
+  text_table k_table({"k", "simulated", "closed form", "g_max - g_avg",
+                      "k*(g_max - g_avg)/g_max"});
+  for (const std::size_t k : {2u, 4u, 8u, 16u, 32u}) {
+    const auto pop = abg_population::from_fractions(n, 0.1, 0.25, 0.65);
+    const double sim = simulated_average_generosity(pop, k, g_max, gen);
+    const double closed =
+        average_stationary_generosity(pop.beta(), k, g_max);
+    const double gap = g_max - closed;
+    k_table.add_row({std::to_string(k), fmt(sim, 4), fmt(closed, 4),
+                     fmt(gap, 4),
+                     fmt(gap * static_cast<double>(k) / g_max, 3)});
+  }
+  k_table.print(std::cout);
+
+  std::cout << "\n(c) k sweep at beta = 0.75 (lambda = 1/3): approach to 0 "
+               "at rate 1/k\n";
+  text_table k0_table({"k", "simulated", "closed form", "k*g_avg/g_max"});
+  for (const std::size_t k : {2u, 4u, 8u, 16u, 32u}) {
+    const auto pop = abg_population::from_fractions(n, 0.1, 0.75, 0.15);
+    const double sim = simulated_average_generosity(pop, k, g_max, gen);
+    const double closed =
+        average_stationary_generosity(pop.beta(), k, g_max);
+    k0_table.add_row({std::to_string(k), fmt(sim, 4), fmt(closed, 4),
+                      fmt(closed * static_cast<double>(k) / g_max, 3)});
+  }
+  k0_table.print(std::cout);
+
+  std::cout << "\nExpected shape: simulated == closed form within ~0.01;\n"
+               "normalized k-scaled gaps stabilize to constants (the O(1/k) "
+               "rates of Proposition 2.8).\n";
+  return 0;
+}

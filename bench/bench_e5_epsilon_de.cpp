@@ -1,0 +1,111 @@
+// Experiment E5 (Theorem 2.9): the normalized mean stationary distribution
+// mu of the k-IGT dynamics is an epsilon-approximate distributional
+// equilibrium with epsilon = O(1/k).
+//
+// Three parts:
+//  (a) exact Psi(k) decay within the (corrected) admissible regime — the
+//      k*Psi column should stabilize;
+//  (b) Psi measured from an actual agent-level simulation census;
+//  (c) reproduction note — an instance satisfying the paper's *literal*
+//      constraints whose equation-(63) bracket is negative: Psi stays
+//      Theta(1). The corrected deviation-gain condition (see theory.hpp)
+//      separates the two regimes.
+#include <iostream>
+
+#include "ppg/core/equilibrium.hpp"
+#include "ppg/core/igt_protocol.hpp"
+#include "ppg/core/igt_count_chain.hpp"
+#include "ppg/core/theory.hpp"
+#include "ppg/util/table.hpp"
+
+int main() {
+  using namespace ppg;
+  std::cout << "=== E5: epsilon-approximate distributional equilibrium "
+               "(Theorem 2.9) ===\n\n";
+
+  const double alpha = 0.1;
+  const double beta = 0.2;  // lambda = 4
+  const double gamma = 0.7;
+  const auto instance = make_theorem_2_9_instance(beta, gamma, 0.5);
+  const auto cond =
+      check_theorem_2_9(instance.setting, beta, gamma, instance.g_max);
+  std::cout << "Admissible instance: b = " << instance.setting.b
+            << ", c = " << instance.setting.c
+            << ", delta = " << fmt(instance.setting.delta, 3)
+            << ", s1 = " << instance.setting.s1
+            << ", g_max = " << fmt(instance.g_max, 3)
+            << "; all conditions: " << (cond.all() ? "yes" : "NO") << "\n\n";
+
+  std::cout << "(a) exact Psi(k) under the stationary mean distribution\n";
+  text_table psi_table({"k", "Psi", "k*Psi", "best deviation level",
+                        "L*Var bound (D.1-D.3)"});
+  for (const std::size_t k : {2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
+    const igt_equilibrium_analyzer analyzer(instance.setting, alpha, beta,
+                                            gamma, k, instance.g_max);
+    const auto de = analyzer.stationary_gap();
+    const double l_bound =
+        second_derivative_bound(instance.setting, instance.g_max) *
+        stationary_generosity_variance(beta, k, instance.g_max);
+    psi_table.add_row({std::to_string(k), fmt_sci(de.epsilon, 3),
+                       fmt(de.epsilon * static_cast<double>(k), 4),
+                       std::to_string(de.best_level + 1),
+                       fmt_sci(l_bound, 2)});
+  }
+  psi_table.print(std::cout);
+
+  std::cout << "\n(b) Psi of the census measured from the agent-level "
+               "simulation (n = 300)\n";
+  text_table sim_table({"k", "Psi (ideal mu)", "Psi (simulated census)"});
+  const auto pop = abg_population::from_fractions(300, alpha, beta, gamma);
+  rng gen(11);
+  for (const std::size_t k : {4u, 8u, 16u}) {
+    const igt_equilibrium_analyzer analyzer(instance.setting, alpha, beta,
+                                            gamma, k, instance.g_max);
+    const igt_protocol proto(k);
+    simulation sim(proto,
+                   population(make_igt_population_states(pop, k, 0), 2 + k),
+                   gen.split(), pair_sampling::with_replacement);
+    sim.run(static_cast<std::uint64_t>(igt_mixing_upper_bound(pop, k)));
+    std::vector<double> census(k, 0.0);
+    const std::uint64_t samples = 400'000;
+    for (std::uint64_t i = 0; i < samples; ++i) {
+      sim.step();
+      const auto z = gtft_level_counts(sim.agents(), k);
+      for (std::size_t j = 0; j < k; ++j) {
+        census[j] += static_cast<double>(z[j]);
+      }
+    }
+    for (auto& x : census) {
+      x /= static_cast<double>(samples) * static_cast<double>(pop.num_gtft);
+    }
+    sim_table.add_row({std::to_string(k),
+                       fmt_sci(analyzer.stationary_gap().epsilon, 3),
+                       fmt_sci(analyzer.gap(census).epsilon, 3)});
+  }
+  sim_table.print(std::cout);
+
+  std::cout << "\n(c) reproduction note: a literal-conditions instance with "
+               "a negative\n    equation-(63) bracket — Psi does NOT decay\n";
+  const rd_setting bad{4.0, 1.0, 0.45, 0.5};
+  const auto bad_cond = check_theorem_2_9(bad, 0.2, 0.7, 0.9);
+  std::cout << "    paper conditions: "
+            << (bad_cond.paper_conditions() ? "satisfied" : "violated")
+            << "; corrected deviation coefficient = "
+            << fmt(bad_cond.deviation_coefficient, 3) << " (< 0)\n";
+  text_table bad_table({"k", "Psi", "k*Psi", "best deviation level"});
+  for (const std::size_t k : {4u, 16u, 64u}) {
+    const igt_equilibrium_analyzer analyzer(bad, 0.1, 0.2, 0.7, k, 0.9);
+    const auto de = analyzer.stationary_gap();
+    bad_table.add_row({std::to_string(k), fmt(de.epsilon, 4),
+                       fmt(de.epsilon * static_cast<double>(k), 2),
+                       std::to_string(de.best_level + 1)});
+  }
+  bad_table.print(std::cout);
+
+  std::cout << "\nExpected shape: (a) k*Psi stabilizes (O(1/k) decay), the "
+               "best deviation is the top level\nand the Taylor term "
+               "L*Var = O(1/k^2) is dominated; (b) simulated Psi tracks the "
+               "ideal one;\n(c) Psi ~ constant with the best deviation at "
+               "level 1 — the corrected condition is necessary.\n";
+  return 0;
+}

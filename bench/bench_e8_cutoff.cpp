@@ -1,0 +1,124 @@
+// Experiment E8 (Remark 2.6): the cutoff phenomenon. For the classic k = 2
+// urn process, the TV distance from the worst start stays near 1 and then
+// collapses sharply around (1/2) m log m moves; the window narrows (in
+// relative terms) as m grows. We measure the exact TV profile and the
+// relative width of the [0.75, 0.25] TV window, then probe the same
+// quantities for a high-dimensional (k = 4) process, where obtaining exact
+// cutoff constants is the paper's stated open question.
+#include <cmath>
+#include <iostream>
+
+#include "ppg/ehrenfest/birth_death.hpp"
+#include "ppg/ehrenfest/exact_chain.hpp"
+#include "ppg/markov/mixing.hpp"
+#include "ppg/util/table.hpp"
+
+namespace {
+
+using namespace ppg;
+
+struct cutoff_profile {
+  double t25 = 0.0;  ///< first t with TV <= 0.25
+  double t75 = 0.0;  ///< first t with TV <= 0.75
+  double relative_width = 0.0;  ///< (t25 - t75)/t25
+};
+
+cutoff_profile measure_cutoff(const ehrenfest_params& params) {
+  const simplex_index index(params.k, params.m);
+  const auto chain = build_ehrenfest_chain(params, index);
+  const auto pi = exact_stationary_vector(params, index);
+  const auto corners = find_corner_states(index);
+  // Use the worse of the two corners (relevant for biased chains).
+  const auto t25 = mixing_time_from_starts(
+      chain, {corners.bottom, corners.top}, pi, 0.25, 100'000'000);
+  const auto t75 = mixing_time_from_starts(
+      chain, {corners.bottom, corners.top}, pi, 0.75, 100'000'000);
+  cutoff_profile profile;
+  profile.t25 = static_cast<double>(t25);
+  profile.t75 = static_cast<double>(t75);
+  profile.relative_width = (profile.t25 - profile.t75) / profile.t25;
+  return profile;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== E8: cutoff phenomenon (Remark 2.6) ===\n\n";
+
+  std::cout << "(a) classic k = 2 urn (a = b = 1/4): t_mix vs the "
+               "(1/2) m log m / (a+b) prediction,\n    and the relative "
+               "width of the TV drop (cutoff => width -> 0)\n";
+  text_table two_table({"m", "t(TV=0.75)", "t(TV=0.25)",
+                        "t25 / ((m log m)/2/(a+b))", "relative width"});
+  for (const std::uint64_t m : {8ull, 16ull, 32ull, 64ull, 128ull}) {
+    const ehrenfest_params params{2, 0.25, 0.25, m};
+    const auto profile = measure_cutoff(params);
+    const double md = static_cast<double>(m);
+    const double predicted = 0.5 * md * std::log(md) / (params.a + params.b);
+    two_table.add_row({std::to_string(m), fmt(profile.t75, 0),
+                       fmt(profile.t25, 0), fmt(profile.t25 / predicted, 3),
+                       fmt(profile.relative_width, 3)});
+  }
+  two_table.print(std::cout);
+
+  std::cout << "\n(b) high-dimensional probe, k = 4 (a = b = 1/4): does the "
+               "relative width still shrink?\n";
+  text_table four_table({"m", "t(TV=0.75)", "t(TV=0.25)",
+                         "t25 / (m log m)", "relative width"});
+  for (const std::uint64_t m : {6ull, 12ull, 24ull, 48ull}) {
+    const ehrenfest_params params{4, 0.25, 0.25, m};
+    const auto profile = measure_cutoff(params);
+    const double md = static_cast<double>(m);
+    four_table.add_row({std::to_string(m), fmt(profile.t75, 0),
+                        fmt(profile.t25, 0),
+                        fmt(profile.t25 / (md * std::log(md)), 3),
+                        fmt(profile.relative_width, 3)});
+  }
+  four_table.print(std::cout);
+
+  std::cout << "\n(c) biased k = 2 (a = 0.3, b = 0.15): the cutoff location "
+               "shifts with the bias\n";
+  text_table biased_table({"m", "t(TV=0.25)", "t25 / (m log m)"});
+  for (const std::uint64_t m : {16ull, 32ull, 64ull}) {
+    const ehrenfest_params params{2, 0.3, 0.15, m};
+    const auto profile = measure_cutoff(params);
+    const double md = static_cast<double>(m);
+    biased_table.add_row({std::to_string(m), fmt(profile.t25, 0),
+                          fmt(profile.t25 / (md * std::log(md)), 3)});
+  }
+  biased_table.print(std::cout);
+
+  std::cout << "\n(d) large-m confirmation via the k = 2 birth-death "
+               "projection (expression (11)):\n    the O(m)-state "
+               "tridiagonal chain reaches m = 2048 where the cutoff is "
+               "sharp\n";
+  text_table large_table({"m", "t(TV=0.75)", "t(TV=0.25)",
+                          "t25 / ((m log m)/2/(a+b))", "relative width"});
+  for (const std::uint64_t m : {256ull, 512ull, 1024ull, 2048ull}) {
+    const ehrenfest_params params{2, 0.25, 0.25, m};
+    const auto chain = two_urn_projected_chain(params);
+    const auto pi = two_urn_projected_stationary(params);
+    // Worst start: all balls in urn 1 (projected state m).
+    const auto t25 = hitting_time_of_tv(chain, static_cast<std::size_t>(m),
+                                        pi, 0.25, 500'000'000);
+    const auto t75 = hitting_time_of_tv(chain, static_cast<std::size_t>(m),
+                                        pi, 0.75, 500'000'000);
+    const double md = static_cast<double>(m);
+    const double predicted = 0.5 * md * std::log(md) / (params.a + params.b);
+    large_table.add_row(
+        {std::to_string(m), fmt_count(t75), fmt_count(t25),
+         fmt(static_cast<double>(t25) / predicted, 3),
+         fmt((static_cast<double>(t25) - static_cast<double>(t75)) /
+                 static_cast<double>(t25),
+             3)});
+  }
+  large_table.print(std::cout);
+
+  std::cout << "\nExpected shape: in (a), the t25/(prediction) ratio tends "
+               "to ~1 and the relative\nwidth shrinks with m — the textbook "
+               "cutoff. In (b) the width also shrinks, evidence\nthat the "
+               "high-dimensional process exhibits cutoff too (open question "
+               "in the paper).\nIn (d) the ratio is within a few percent of "
+               "1 by m = 2048.\n";
+  return 0;
+}

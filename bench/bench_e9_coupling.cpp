@@ -1,0 +1,80 @@
+// Experiment E9 (Lemma A.5 / Lemma A.8): the shared-randomness coupling.
+// Measures the empirical distribution of the coalescence time tau_couple
+// from the worst (corner) starts and checks
+//   (a) E[tau] against the per-coordinate bound Phi = min{k/|a-b|, k^2} m
+//       (converted from moves to steps by 1/(a+b)),
+//   (b) the tail bound Pr[tau > 2 Phi log(4m)] <= 1/4,
+//   (c) that Proposition A.7's absorption-time closed forms match a direct
+//       simulation of the centered walk.
+#include <iostream>
+#include <tuple>
+
+#include "ppg/ehrenfest/bounds.hpp"
+#include "ppg/ehrenfest/coupling.hpp"
+#include "ppg/markov/random_walk.hpp"
+#include "ppg/stats/summary.hpp"
+#include "ppg/util/table.hpp"
+
+int main() {
+  using namespace ppg;
+  std::cout << "=== E9: coupling analysis (Appendix A.4.1) ===\n\n";
+
+  std::cout << "(a,b) corner-start coupling times, 300 runs each\n";
+  text_table table({"k", "m", "a", "b", "mean tau", "max tau",
+                    "Phi/(a+b)", "budget 2*Phi*log(4m)",
+                    "Pr[tau > budget]"});
+  rng gen(123);
+  for (const auto& params :
+       {ehrenfest_params{2, 0.25, 0.25, 20}, ehrenfest_params{4, 0.25, 0.25, 20},
+        ehrenfest_params{4, 0.35, 0.15, 20}, ehrenfest_params{8, 0.35, 0.15, 20},
+        ehrenfest_params{8, 0.45, 0.05, 40},
+        ehrenfest_params{16, 0.25, 0.25, 10}}) {
+    running_summary tau;
+    const auto budget =
+        static_cast<std::uint64_t>(mixing_upper_bound(params));
+    int exceeded = 0;
+    constexpr int runs = 300;
+    for (int r = 0; r < runs; ++r) {
+      const auto run = simulate_corner_coupling(params, budget, gen);
+      if (!run.coalesced) {
+        ++exceeded;
+        tau.add(static_cast<double>(budget));  // censored at the budget
+      } else {
+        tau.add(static_cast<double>(run.coupling_time));
+      }
+    }
+    table.add_row({std::to_string(params.k), std::to_string(params.m),
+                   fmt(params.a, 2), fmt(params.b, 2), fmt(tau.mean(), 0),
+                   fmt(tau.max(), 0),
+                   fmt(phi_bound(params) / (params.a + params.b), 0),
+                   fmt_count(budget),
+                   fmt(exceeded / static_cast<double>(runs), 3)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\n(c) Proposition A.7 absorption times: closed form vs "
+               "simulation (20k runs)\n";
+  text_table walk_table({"span 2k", "start", "up a", "down b",
+                         "closed form E[tau]", "simulated E[tau]"});
+  for (const auto& [a, b, span] :
+       {std::tuple<double, double, std::int64_t>{0.25, 0.25, 12},
+        std::tuple<double, double, std::int64_t>{0.3, 0.15, 12},
+        std::tuple<double, double, std::int64_t>{0.4, 0.1, 20}}) {
+    const std::int64_t start = span / 2;
+    running_summary sim;
+    for (int r = 0; r < 20000; ++r) {
+      sim.add(static_cast<double>(
+          simulate_absorption_time({a, b}, span, start, gen)));
+    }
+    walk_table.add_row({std::to_string(span), std::to_string(start),
+                        fmt(a, 2), fmt(b, 2),
+                        fmt(expected_absorption_time({a, b}, span, start), 1),
+                        fmt(sim.mean(), 1)});
+  }
+  walk_table.print(std::cout);
+
+  std::cout << "\nExpected shape: mean tau well below the Phi-based budget, "
+               "exceedance frequency <= 0.25\n(Lemma A.8), and closed-form "
+               "absorption times matching simulation.\n";
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Engine micro-benchmarks (google-benchmark): interactions per second of
+// the three simulation layers (agent-level protocol engine, k-IGT count
+// chain / coordinate walk, exact-chain distribution step) and the exact
+// payoff oracle. These are the practical knobs for choosing a layer:
+// the count chain is ~an order of magnitude faster than the agent-level
+// engine and is exact for census-level questions (equation (5)).
+#include <benchmark/benchmark.h>
+
+#include "ppg/core/igt_count_chain.hpp"
+#include "ppg/core/igt_protocol.hpp"
+#include "ppg/ehrenfest/exact_chain.hpp"
+#include "ppg/ehrenfest/process.hpp"
+#include "ppg/games/closed_form.hpp"
+#include "ppg/games/exact_payoff.hpp"
+#include "ppg/games/rollout.hpp"
+
+namespace {
+
+using namespace ppg;
+
+void bm_agent_level_igt(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::size_t k = 8;
+  const auto pop = abg_population::from_fractions(n, 0.1, 0.2, 0.7);
+  const igt_protocol proto(k);
+  simulation sim(proto,
+                 population(make_igt_population_states(pop, k, 0), 2 + k),
+                 rng(1));
+  for (auto _ : state) {
+    sim.step();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(bm_agent_level_igt)->Arg(100)->Arg(1000)->Arg(10000);
+
+void bm_igt_count_chain(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto pop = abg_population::from_fractions(n, 0.1, 0.2, 0.7);
+  igt_count_chain chain(pop, 8, 0);
+  rng gen(2);
+  for (auto _ : state) {
+    chain.step(gen);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(bm_igt_count_chain)->Arg(100)->Arg(1000)->Arg(10000);
+
+void bm_ehrenfest_count_vector(benchmark::State& state) {
+  const ehrenfest_params params{8, 0.3, 0.15,
+                                static_cast<std::uint64_t>(state.range(0))};
+  auto process = ehrenfest_process::at_corner(params, false);
+  rng gen(3);
+  for (auto _ : state) {
+    process.step(gen);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(bm_ehrenfest_count_vector)->Arg(100)->Arg(10000);
+
+void bm_exact_chain_step(benchmark::State& state) {
+  const ehrenfest_params params{3, 0.3, 0.15, 20};
+  const simplex_index index(params.k, params.m);
+  const auto chain = build_ehrenfest_chain(params, index);
+  std::vector<double> mu(index.size(), 1.0 / static_cast<double>(index.size()));
+  for (auto _ : state) {
+    mu = chain.step(mu);
+    benchmark::DoNotOptimize(mu.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(index.size()));
+}
+BENCHMARK(bm_exact_chain_step);
+
+void bm_exact_payoff_engine(benchmark::State& state) {
+  const repeated_donation_game rdg{{3.0, 1.0}, 0.8};
+  const auto row = generous_tit_for_tat(0.3, 0.9);
+  const auto col = generous_tit_for_tat(0.6, 0.9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(expected_payoff(rdg, row, col));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(bm_exact_payoff_engine);
+
+void bm_closed_form_payoff(benchmark::State& state) {
+  const rd_setting s{3.0, 1.0, 0.8, 0.9};
+  double g = 0.0;
+  for (auto _ : state) {
+    g += 1e-9;
+    benchmark::DoNotOptimize(f_gtft_vs_gtft(s, 0.3 + g, 0.6));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(bm_closed_form_payoff);
+
+void bm_rollout_game(benchmark::State& state) {
+  const repeated_donation_game rdg{{3.0, 1.0}, 0.9};
+  const auto row = generous_tit_for_tat(0.3, 0.9);
+  const auto col = always_defect();
+  rng gen(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(play_repeated_game(rdg, row, col, gen));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(bm_rollout_game);
+
+}  // namespace

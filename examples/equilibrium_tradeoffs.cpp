@@ -1,0 +1,60 @@
+// The paper's headline trade-off (Theorems 2.7 + 2.9): increasing the local
+// state space k tightens the equilibrium approximation (epsilon = O(1/k))
+// but slows convergence (t_mix = O(k n log n)) and costs local memory.
+// This example prints the trade-off table for a fixed admissible game
+// setting.
+#include <cstddef>
+#include <iostream>
+
+#include "ppg/core/equilibrium.hpp"
+#include "ppg/core/igt_count_chain.hpp"
+#include "ppg/core/theory.hpp"
+#include "ppg/util/table.hpp"
+
+int main() {
+  using namespace ppg;
+
+  const double alpha = 0.1;
+  const double beta = 0.2;   // lambda = 4 >= 2
+  const double gamma = 0.7;
+  const std::size_t n = 1000;
+
+  // Construct a game setting satisfying the Theorem 2.9 regime (with the
+  // corrected deviation-gain condition; see DESIGN.md).
+  const auto instance = make_theorem_2_9_instance(beta, gamma, 0.5);
+  const auto cond =
+      check_theorem_2_9(instance.setting, beta, gamma, instance.g_max);
+  std::cout << "Game setting: b = " << instance.setting.b
+            << ", c = " << instance.setting.c
+            << ", delta = " << fmt(instance.setting.delta, 3)
+            << ", s1 = " << instance.setting.s1
+            << ", g_max = " << fmt(instance.g_max, 3) << "\n";
+  std::cout << "Theorem 2.9 regime satisfied: "
+            << (cond.all() ? "yes" : "NO") << " (deviation coefficient "
+            << fmt(cond.deviation_coefficient, 3) << ")\n\n";
+
+  const auto pop = abg_population::from_fractions(n, alpha, beta, gamma);
+
+  text_table table({"k", "epsilon (Psi)", "k*epsilon", "t_mix upper bound",
+                    "t_mix lower bound", "agent memory (states)"});
+  for (const std::size_t k : {2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
+    const igt_equilibrium_analyzer analyzer(instance.setting, alpha, beta,
+                                            gamma, k, instance.g_max);
+    const auto de = analyzer.stationary_gap();
+    table.add_row(
+        {std::to_string(k), fmt_sci(de.epsilon, 3),
+         fmt(de.epsilon * static_cast<double>(k), 4),
+         fmt_count(static_cast<std::uint64_t>(
+             igt_mixing_upper_bound(pop, k))),
+         fmt_count(static_cast<std::uint64_t>(
+             igt_mixing_lower_bound(pop, k))),
+         std::to_string(2 + k)});
+  }
+  table.print(std::cout);
+
+  std::cout
+      << "\nReading: epsilon decays as O(1/k) (the k*epsilon column\n"
+         "stabilizes) while both mixing-time bounds grow linearly in k —\n"
+         "the time/space/approximation trade-off of the paper.\n";
+  return 0;
+}

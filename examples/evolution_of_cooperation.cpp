@@ -1,0 +1,79 @@
+// Evolution of cooperation under pairwise random interactions: sweeps the
+// fraction beta of always-defect agents and reports how the population's
+// stationary generosity and realized cooperation respond — the phenomenon
+// the paper's introduction motivates (Axelrod-Hamilton via GTFT).
+//
+// Below beta = 1/2 the GTFT subpopulation is pushed toward maximum
+// generosity (Proposition 2.8: g_avg ~ g_max(1 - O(1/k))); above it,
+// defectors drag the population to stinginess at the same rate.
+#include <cstddef>
+#include <iostream>
+
+#include "ppg/core/igt_count_chain.hpp"
+#include "ppg/core/theory.hpp"
+#include "ppg/games/closed_form.hpp"
+#include "ppg/games/exact_payoff.hpp"
+#include "ppg/util/table.hpp"
+
+int main() {
+  using namespace ppg;
+
+  const std::size_t n = 600;
+  const std::size_t k = 8;
+  const double g_max = 0.6;
+  const rd_setting setting{4.0, 1.0, 0.8, 0.95};
+  const auto grid = generosity_grid(k, g_max);
+
+  std::cout << "Repeated donation game: b = " << setting.b
+            << ", c = " << setting.c << ", delta = " << setting.delta
+            << ", s1 = " << setting.s1 << "\n";
+  std::cout << "k = " << k << " generosity levels on [0, " << g_max
+            << "]; n = " << n << " agents, alpha = beta sweep\n\n";
+
+  text_table table({"beta", "avg generosity (sim)", "avg generosity (P2.8)",
+                    "GTFT-vs-GTFT coop payoff", "vs-AD bleed"});
+
+  rng gen(7);
+  for (const double beta : {0.05, 0.15, 0.25, 0.35, 0.45, 0.5, 0.55, 0.65,
+                            0.75}) {
+    const double alpha = 0.1;
+    const double gamma = 1.0 - alpha - beta;
+    const auto pop = abg_population::from_fractions(n, alpha, beta, gamma);
+
+    // Simulate the count chain to its stationary regime and time-average
+    // the population's mean generosity.
+    igt_count_chain chain(pop, k, 0);
+    const auto burn =
+        static_cast<std::uint64_t>(igt_mixing_upper_bound(pop, k));
+    chain.run(burn, gen);
+    double avg_g = 0.0;
+    const std::uint64_t samples = 200'000;
+    for (std::uint64_t i = 0; i < samples; ++i) {
+      chain.step(gen);
+      double g_bar = 0.0;
+      for (std::size_t j = 0; j < k; ++j) {
+        g_bar += grid[j] * static_cast<double>(chain.counts()[j]);
+      }
+      avg_g += g_bar / static_cast<double>(pop.num_gtft);
+    }
+    avg_g /= static_cast<double>(samples);
+
+    const double predicted =
+        average_stationary_generosity(pop.beta(), k, g_max);
+    // What that generosity means in payoff terms.
+    const double coop_payoff = f_gtft_vs_gtft(setting, avg_g, avg_g);
+    const double bleed = f_gtft_vs_ad(setting, avg_g);
+
+    table.add_row({fmt(pop.beta(), 3), fmt(avg_g, 4), fmt(predicted, 4),
+                   fmt(coop_payoff, 3), fmt(bleed, 3)});
+  }
+  table.print(std::cout);
+
+  std::cout
+      << "\nReading: below beta = 1/2 the dynamics sustain near-maximal\n"
+         "generosity (cooperation evolves); above it, generosity collapses\n"
+         "toward 0 at rate O(1/k) (Proposition 2.8). The 'bleed' column is\n"
+         "the expected loss per encounter with a defector, the pressure\n"
+         "that pulls generosity down.\n";
+  return 0;
+}

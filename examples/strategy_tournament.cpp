@@ -1,0 +1,94 @@
+// Axelrod-style round-robin tournament of memory-one strategies in the
+// repeated donation game, computed with the *exact* payoff engine (no
+// sampling noise), followed by the equilibrium lens: which strategy mixes
+// are distributional equilibria (Definition 1.1)?
+#include <cstddef>
+#include <iostream>
+#include <vector>
+
+#include "ppg/core/equilibrium.hpp"
+#include "ppg/games/exact_payoff.hpp"
+#include "ppg/linalg/matrix.hpp"
+#include "ppg/util/table.hpp"
+
+int main() {
+  using namespace ppg;
+
+  const repeated_donation_game rdg{{3.0, 1.0}, 0.9};
+  const double s1 = 0.99;  // nearly-cooperative openings, a la Axelrod
+
+  struct entrant {
+    std::string name;
+    memory_one_strategy strategy;
+  };
+  const std::vector<entrant> entrants = {
+      {"AC", always_cooperate()},
+      {"AD", always_defect()},
+      {"TFT", tit_for_tat(s1)},
+      {"GTFT(0.1)", generous_tit_for_tat(0.1, s1)},
+      {"GTFT(0.3)", generous_tit_for_tat(0.3, s1)},
+      {"GRIM", grim(s1)},
+      {"WSLS", win_stay_lose_shift(s1)},
+  };
+
+  std::cout << "Round-robin repeated donation game tournament\n"
+            << "b = " << rdg.game.b << ", c = " << rdg.game.c
+            << ", delta = " << rdg.delta << " (expected "
+            << fmt(rdg.expected_rounds(), 1) << " rounds per match)\n\n";
+
+  // Exact pairwise payoff matrix.
+  const std::size_t s = entrants.size();
+  matrix payoffs(s, s);
+  for (std::size_t i = 0; i < s; ++i) {
+    for (std::size_t j = 0; j < s; ++j) {
+      payoffs(i, j) =
+          expected_payoff(rdg, entrants[i].strategy, entrants[j].strategy);
+    }
+  }
+
+  std::vector<std::string> headers = {"strategy"};
+  for (const auto& e : entrants) headers.push_back("vs " + e.name);
+  headers.push_back("total");
+  text_table table(headers);
+  std::vector<double> totals(s, 0.0);
+  for (std::size_t i = 0; i < s; ++i) {
+    std::vector<std::string> row = {entrants[i].name};
+    for (std::size_t j = 0; j < s; ++j) {
+      row.push_back(fmt(payoffs(i, j), 2));
+      totals[i] += payoffs(i, j);
+    }
+    row.push_back(fmt(totals[i], 2));
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+
+  std::size_t winner = 0;
+  for (std::size_t i = 1; i < s; ++i) {
+    if (totals[i] > totals[winner]) winner = i;
+  }
+  std::cout << "\nTournament winner (uniform opponent pool): "
+            << entrants[winner].name << "\n\n";
+
+  // Equilibrium lens: evaluate the Definition 1.1 gap of some natural
+  // population mixes over this strategy pool.
+  const auto u2 = payoffs.transposed();  // symmetric game
+  text_table de_table({"population mix", "epsilon (Def 1.1)"});
+  auto report = [&](const std::string& name, std::vector<double> mu) {
+    const auto gap = general_de_gap(payoffs, u2, mu);
+    de_table.add_row({name, fmt(gap.epsilon(), 3)});
+  };
+  report("all AD", {0, 1, 0, 0, 0, 0, 0});
+  report("all AC", {1, 0, 0, 0, 0, 0, 0});
+  report("all TFT", {0, 0, 1, 0, 0, 0, 0});
+  report("all GTFT(0.3)", {0, 0, 0, 0, 1, 0, 0});
+  report("uniform", std::vector<double>(s, 1.0 / static_cast<double>(s)));
+  report("half TFT half GTFT(0.1)", {0, 0, 0.5, 0.5, 0, 0, 0});
+  de_table.print(std::cout);
+
+  std::cout << "\nReading: pure defection is always an equilibrium of the\n"
+               "one-shot game, but with delta = 0.9 the repeated game makes\n"
+               "reciprocal strategies self-enforcing: deviating from a\n"
+               "TFT/GTFT population to any strategy in the pool gains\n"
+               "(almost) nothing, while all-AC is exploitable.\n";
+  return 0;
+}

@@ -1,0 +1,217 @@
+#include "ppg/core/equilibrium.hpp"
+
+#include <cmath>
+
+#include "ppg/games/closed_form.hpp"
+#include "ppg/games/strategy.hpp"
+#include "ppg/stats/distributions.hpp"
+#include "ppg/stats/empirical.hpp"
+#include "ppg/util/error.hpp"
+
+namespace ppg {
+
+std::vector<double> induced_full_distribution(const std::vector<double>& mu,
+                                              double alpha, double beta,
+                                              double gamma) {
+  PPG_CHECK(is_distribution(mu, 1e-6), "mu must be a distribution");
+  PPG_CHECK(std::abs(alpha + beta + gamma - 1.0) <= 1e-9,
+            "fractions must sum to 1");
+  std::vector<double> full;
+  full.reserve(mu.size() + 2);
+  full.push_back(alpha);
+  full.push_back(beta);
+  for (const double p : mu) {
+    full.push_back(gamma * p);
+  }
+  return full;
+}
+
+igt_equilibrium_analyzer::igt_equilibrium_analyzer(rd_setting setting,
+                                                   double alpha, double beta,
+                                                   double gamma,
+                                                   std::size_t k,
+                                                   double g_max)
+    : setting_(setting),
+      alpha_(alpha),
+      beta_(beta),
+      gamma_(gamma),
+      k_(k),
+      grid_(generosity_grid(k, g_max)),
+      f_vs_ac_(f_gtft_vs_ac(setting)),
+      f_vs_ad_(k),
+      f_vs_gtft_(k, k) {
+  PPG_CHECK(std::abs(alpha + beta + gamma - 1.0) <= 1e-9,
+            "fractions must sum to 1");
+  PPG_CHECK(beta > 0.0 && beta < 1.0 && gamma > 0.0,
+            "need positive AD and GTFT fractions");
+  for (std::size_t i = 0; i < k_; ++i) {
+    f_vs_ad_[i] = f_gtft_vs_ad(setting_, grid_[i]);
+    for (std::size_t j = 0; j < k_; ++j) {
+      f_vs_gtft_(i, j) = f_gtft_vs_gtft(setting_, grid_[i], grid_[j]);
+    }
+  }
+}
+
+de_result igt_equilibrium_analyzer::gap(const std::vector<double>& mu) const {
+  PPG_CHECK(mu.size() == k_, "mu must have length k");
+  PPG_CHECK(is_distribution(mu, 1e-6), "mu must be a distribution");
+  de_result result;
+  result.deviation_payoffs.resize(k_);
+  for (std::size_t i = 0; i < k_; ++i) {
+    double vs_gtft = 0.0;
+    for (std::size_t j = 0; j < k_; ++j) {
+      vs_gtft += mu[j] * f_vs_gtft_(i, j);
+    }
+    result.deviation_payoffs[i] =
+        alpha_ * f_vs_ac_ + beta_ * f_vs_ad_[i] + gamma_ * vs_gtft;
+  }
+  result.best_payoff = result.deviation_payoffs[0];
+  result.best_level = 0;
+  double mean = 0.0;
+  for (std::size_t i = 0; i < k_; ++i) {
+    mean += mu[i] * result.deviation_payoffs[i];
+    if (result.deviation_payoffs[i] > result.best_payoff) {
+      result.best_payoff = result.deviation_payoffs[i];
+      result.best_level = i;
+    }
+  }
+  result.mean_payoff = mean;
+  result.epsilon = result.best_payoff - mean;
+  return result;
+}
+
+std::vector<double> igt_equilibrium_analyzer::stationary_mu() const {
+  const double lambda = (1.0 - beta_) / beta_;
+  return geometric_weights(k_, lambda);
+}
+
+de_result igt_equilibrium_analyzer::stationary_gap() const {
+  return gap(stationary_mu());
+}
+
+double igt_equilibrium_analyzer::payoff_vs_mixture(
+    double g, const std::vector<double>& mu) const {
+  PPG_CHECK(mu.size() == k_, "mu must have length k");
+  double vs_gtft = 0.0;
+  for (std::size_t j = 0; j < k_; ++j) {
+    vs_gtft += mu[j] * f_gtft_vs_gtft(setting_, g, grid_[j]);
+  }
+  return alpha_ * f_vs_ac_ + beta_ * f_gtft_vs_ad(setting_, g) +
+         gamma_ * vs_gtft;
+}
+
+double igt_equilibrium_analyzer::best_response_generosity(
+    const std::vector<double>& mu) const {
+  PPG_CHECK(mu.size() == k_, "mu must have length k");
+  const double g_max = grid_.back();
+  // Coarse scan to locate the best bracket...
+  constexpr int scan_points = 64;
+  double best_g = 0.0;
+  double best_value = payoff_vs_mixture(0.0, mu);
+  for (int i = 1; i <= scan_points; ++i) {
+    const double g = g_max * i / scan_points;
+    const double value = payoff_vs_mixture(g, mu);
+    if (value > best_value) {
+      best_value = value;
+      best_g = g;
+    }
+  }
+  // ...then golden-section refinement inside the neighboring cells.
+  double lo = std::max(0.0, best_g - g_max / scan_points);
+  double hi = std::min(g_max, best_g + g_max / scan_points);
+  constexpr double inv_phi = 0.6180339887498949;
+  double x1 = hi - inv_phi * (hi - lo);
+  double x2 = lo + inv_phi * (hi - lo);
+  double f1 = payoff_vs_mixture(x1, mu);
+  double f2 = payoff_vs_mixture(x2, mu);
+  for (int iter = 0; iter < 80 && hi - lo > 1e-12; ++iter) {
+    if (f1 < f2) {
+      lo = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = lo + inv_phi * (hi - lo);
+      f2 = payoff_vs_mixture(x2, mu);
+    } else {
+      hi = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = hi - inv_phi * (hi - lo);
+      f1 = payoff_vs_mixture(x1, mu);
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+general_de_result general_de_gap(const matrix& u1, const matrix& u2,
+                                 const std::vector<double>& mu) {
+  const std::size_t s = mu.size();
+  PPG_CHECK(u1.rows() == s && u1.cols() == s && u2.rows() == s &&
+                u2.cols() == s,
+            "payoff matrices must match the strategy count");
+  PPG_CHECK(is_distribution(mu, 1e-6), "mu must be a distribution");
+
+  // Expected payoffs of the average interaction.
+  double mean1 = 0.0;
+  double mean2 = 0.0;
+  for (std::size_t i = 0; i < s; ++i) {
+    for (std::size_t j = 0; j < s; ++j) {
+      mean1 += mu[i] * mu[j] * u1(i, j);
+      mean2 += mu[i] * mu[j] * u2(i, j);
+    }
+  }
+  // Best unilateral deviations.
+  double best1 = -1e300;
+  double best2 = -1e300;
+  for (std::size_t dev = 0; dev < s; ++dev) {
+    double v1 = 0.0;
+    double v2 = 0.0;
+    for (std::size_t j = 0; j < s; ++j) {
+      v1 += mu[j] * u1(dev, j);  // first agent deviates to `dev`
+      v2 += mu[j] * u2(j, dev);  // second agent deviates to `dev`
+    }
+    best1 = std::max(best1, v1);
+    best2 = std::max(best2, v2);
+  }
+  general_de_result result;
+  result.epsilon1 = std::max(0.0, best1 - mean1);
+  result.epsilon2 = std::max(0.0, best2 - mean2);
+  return result;
+}
+
+matrix full_payoff_matrix(const rd_setting& setting, std::size_t k,
+                          double g_max) {
+  const auto grid = generosity_grid(k, g_max);
+  std::vector<paper_strategy> strategies;
+  strategies.reserve(k + 2);
+  strategies.push_back(paper_strategy::ac());
+  strategies.push_back(paper_strategy::ad());
+  for (const double g : grid) {
+    strategies.push_back(paper_strategy::gtft(g));
+  }
+  const payoff_oracle oracle(setting.to_game(), setting.s1);
+  matrix u(strategies.size(), strategies.size());
+  for (std::size_t i = 0; i < strategies.size(); ++i) {
+    for (std::size_t j = 0; j < strategies.size(); ++j) {
+      u(i, j) = oracle.payoff(strategies[i], strategies[j]);
+    }
+  }
+  return u;
+}
+
+double population_welfare(const matrix& payoffs,
+                          const std::vector<double>& mu_hat) {
+  const std::size_t s = mu_hat.size();
+  PPG_CHECK(payoffs.rows() == s && payoffs.cols() == s,
+            "payoff matrix must match the distribution support");
+  PPG_CHECK(is_distribution(mu_hat, 1e-6), "mu_hat must be a distribution");
+  double welfare = 0.0;
+  for (std::size_t i = 0; i < s; ++i) {
+    if (mu_hat[i] == 0.0) continue;
+    for (std::size_t j = 0; j < s; ++j) {
+      welfare += mu_hat[i] * mu_hat[j] * payoffs(i, j);
+    }
+  }
+  return welfare;
+}
+
+}  // namespace ppg

@@ -1,0 +1,57 @@
+#include "ppg/core/igt_count_chain.hpp"
+
+#include "ppg/ehrenfest/bounds.hpp"
+#include "ppg/ehrenfest/stationary.hpp"
+#include "ppg/util/error.hpp"
+
+namespace ppg {
+
+igt_count_chain::igt_count_chain(const abg_population& pop, std::size_t k,
+                                 std::size_t initial_level)
+    : igt_count_chain(pop, k,
+                      std::vector<std::uint32_t>(
+                          pop.num_gtft,
+                          static_cast<std::uint32_t>(initial_level))) {}
+
+igt_count_chain::igt_count_chain(const abg_population& pop, std::size_t k,
+                                 std::vector<std::uint32_t> initial_levels)
+    : pop_(pop),
+      k_(k),
+      walk_(igt_ehrenfest_params(pop, k), std::move(initial_levels)) {
+  PPG_CHECK(pop_.num_ad > 0,
+            "k-IGT count chain requires beta > 0 (otherwise the dynamics "
+            "degenerate to the top level)");
+}
+
+void igt_count_chain::step(rng& gen) {
+  walk_.step(gen);
+}
+
+void igt_count_chain::run(std::uint64_t steps, rng& gen) {
+  walk_.run(steps, gen);
+}
+
+std::vector<double> igt_count_chain::level_distribution() const {
+  const auto& z = walk_.counts();
+  std::vector<double> mu(z.size());
+  const auto m = static_cast<double>(pop_.num_gtft);
+  for (std::size_t j = 0; j < z.size(); ++j) {
+    mu[j] = static_cast<double>(z[j]) / m;
+  }
+  return mu;
+}
+
+std::vector<double> igt_stationary_probs(const abg_population& pop,
+                                         std::size_t k) {
+  return ehrenfest_stationary_probs(igt_ehrenfest_params(pop, k));
+}
+
+double igt_mixing_upper_bound(const abg_population& pop, std::size_t k) {
+  return mixing_upper_bound(igt_ehrenfest_params(pop, k));
+}
+
+double igt_mixing_lower_bound(const abg_population& pop, std::size_t k) {
+  return mixing_lower_bound(igt_ehrenfest_params(pop, k));
+}
+
+}  // namespace ppg

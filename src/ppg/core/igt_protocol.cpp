@@ -1,0 +1,143 @@
+#include "ppg/core/igt_protocol.hpp"
+
+#include "ppg/games/strategy.hpp"
+#include "ppg/util/error.hpp"
+#include "ppg/util/table.hpp"
+
+namespace ppg {
+
+std::size_t igt_encoding::level(agent_state s) {
+  PPG_CHECK(is_gtft(s), "state is not a GTFT level");
+  return s - first_gtft;
+}
+
+agent_state igt_encoding::gtft(std::size_t level) {
+  return first_gtft + static_cast<agent_state>(level);
+}
+
+igt_protocol::igt_protocol(std::size_t k, igt_discipline discipline)
+    : k_(k), discipline_(discipline) {
+  PPG_CHECK(k >= 2, "k-IGT requires k >= 2");
+}
+
+agent_state igt_protocol::updated_level(agent_state self,
+                                        agent_state partner) const {
+  if (!igt_encoding::is_gtft(self)) {
+    return self;  // AC/AD strategies stay fixed
+  }
+  const std::size_t level = igt_encoding::level(self);
+  PPG_CHECK(level < k_, "GTFT level out of range");
+  if (partner == igt_encoding::ad) {
+    return igt_encoding::gtft(level > 0 ? level - 1 : 0);
+  }
+  // Partner is AC or GTFT: increment (transition rules (i) and (ii)).
+  return igt_encoding::gtft(level + 1 < k_ ? level + 1 : k_ - 1);
+}
+
+std::pair<agent_state, agent_state> igt_protocol::interact(
+    agent_state initiator, agent_state responder, rng& /*gen*/) const {
+  // Both updates are keyed on the partner's *pre-interaction* state, as in
+  // the standard two-way population protocol semantics.
+  const agent_state next_initiator = updated_level(initiator, responder);
+  const agent_state next_responder =
+      discipline_ == igt_discipline::two_way
+          ? updated_level(responder, initiator)
+          : responder;
+  return {next_initiator, next_responder};
+}
+
+std::string igt_protocol::state_name(agent_state state) const {
+  if (state == igt_encoding::ac) return "AC";
+  if (state == igt_encoding::ad) return "AD";
+  return "g" + std::to_string(igt_encoding::level(state) + 1);
+}
+
+igt_action_protocol::igt_action_protocol(std::size_t k, rd_setting setting,
+                                         double g_max)
+    : k_(k), setting_(setting), grid_(generosity_grid(k, g_max)) {
+  PPG_CHECK(setting_.valid(), "invalid RD setting");
+}
+
+memory_one_strategy igt_action_protocol::strategy_of(
+    agent_state state) const {
+  if (state == igt_encoding::ac) return always_cooperate();
+  if (state == igt_encoding::ad) return always_defect();
+  const std::size_t level = igt_encoding::level(state);
+  PPG_CHECK(level < k_, "GTFT level out of range");
+  return generous_tit_for_tat(grid_[level], setting_.s1);
+}
+
+std::pair<agent_state, agent_state> igt_action_protocol::interact(
+    agent_state initiator, agent_state responder, rng& gen) const {
+  if (!igt_encoding::is_gtft(initiator)) {
+    return {initiator, responder};
+  }
+  // Play the repeated game for real; the initiator classifies the opponent
+  // from its realized actions — cooperative iff it cooperated in a majority
+  // of rounds. For large delta this agrees with the opponent's true type
+  // with high probability (the inference the paper sketches after
+  // Definition 2.1), and the resulting dynamics approach Definition 2.1's.
+  const rollout_result game = play_repeated_game(
+      setting_.to_game(), strategy_of(initiator), strategy_of(responder),
+      gen);
+  const bool opponent_cooperative =
+      2 * game.col_cooperations > game.rounds;
+  const std::size_t level = igt_encoding::level(initiator);
+  if (opponent_cooperative) {
+    const std::size_t next = level + 1 < k_ ? level + 1 : k_ - 1;
+    return {igt_encoding::gtft(next), responder};
+  }
+  const std::size_t next = level > 0 ? level - 1 : 0;
+  return {igt_encoding::gtft(next), responder};
+}
+
+std::string igt_action_protocol::state_name(agent_state state) const {
+  if (state == igt_encoding::ac) return "AC";
+  if (state == igt_encoding::ad) return "AD";
+  return "g" + std::to_string(igt_encoding::level(state) + 1) + "=" +
+         fmt(grid_[igt_encoding::level(state)], 3);
+}
+
+std::vector<agent_state> make_igt_population_states(
+    const abg_population& pop, std::size_t k,
+    const std::vector<std::uint32_t>& gtft_levels) {
+  PPG_CHECK(pop.valid(), "invalid population");
+  PPG_CHECK(k >= 2, "k-IGT requires k >= 2");
+  PPG_CHECK(gtft_levels.size() == pop.num_gtft,
+            "need one level per GTFT agent");
+  for (const auto level : gtft_levels) {
+    PPG_CHECK(level < k, "GTFT level out of range for this k");
+  }
+  std::vector<agent_state> states;
+  states.reserve(pop.n());
+  for (std::uint64_t i = 0; i < pop.num_ac; ++i) {
+    states.push_back(igt_encoding::ac);
+  }
+  for (std::uint64_t i = 0; i < pop.num_ad; ++i) {
+    states.push_back(igt_encoding::ad);
+  }
+  for (const auto level : gtft_levels) {
+    states.push_back(igt_encoding::gtft(level));
+  }
+  return states;
+}
+
+std::vector<agent_state> make_igt_population_states(
+    const abg_population& pop, std::size_t k, std::size_t uniform_level) {
+  PPG_CHECK(uniform_level < k, "initial level out of range");
+  return make_igt_population_states(
+      pop, k,
+      std::vector<std::uint32_t>(
+          pop.num_gtft, static_cast<std::uint32_t>(uniform_level)));
+}
+
+std::vector<std::uint64_t> gtft_level_counts(const population& agents,
+                                             std::size_t k) {
+  std::vector<std::uint64_t> counts(k, 0);
+  for (std::size_t level = 0; level < k; ++level) {
+    counts[level] = agents.count(igt_encoding::gtft(level));
+  }
+  return counts;
+}
+
+}  // namespace ppg

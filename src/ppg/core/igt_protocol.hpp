@@ -1,0 +1,110 @@
+// The k-IGT (Incremental Generosity Tuning) dynamics as a population
+// protocol (Definition 2.1).
+//
+// Agent state encoding: 0 = AC, 1 = AD, 2 + j = GTFT with generosity level
+// j in {0, ..., k-1} (level j is the paper's g_{j+1}). Only a GTFT initiator
+// ever updates (one-way protocol):
+//   level j  meets AC or GTFT  ->  level min(j+1, k-1)
+//   level j  meets AD          ->  level max(j-1, 0)
+//
+// Two variants are provided:
+//  - igt_protocol: transitions keyed on the responder's *strategy type*
+//    (the paper's Definition 2.1);
+//  - igt_action_protocol: transitions keyed on the responder's *observed
+//    action* in an actually played repeated game (the alternative discussed
+//    after Definition 2.1; for large delta the two nearly coincide).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ppg/core/population_config.hpp"
+#include "ppg/games/closed_form.hpp"
+#include "ppg/games/rollout.hpp"
+#include "ppg/pp/simulator.hpp"
+
+namespace ppg {
+
+/// State-encoding helpers shared by both variants.
+struct igt_encoding {
+  static constexpr agent_state ac = 0;
+  static constexpr agent_state ad = 1;
+  static constexpr agent_state first_gtft = 2;
+
+  [[nodiscard]] static bool is_gtft(agent_state s) { return s >= first_gtft; }
+  [[nodiscard]] static std::size_t level(agent_state s);
+  [[nodiscard]] static agent_state gtft(std::size_t level);
+};
+
+/// Whether only the initiator updates (the paper's one-way protocol,
+/// footnote 3) or both agents do (a natural ablation: the census stationary
+/// law is unchanged — each agent's level performs the same reflected walk —
+/// but the clock runs roughly twice as fast).
+enum class igt_discipline : std::uint8_t { one_way, two_way };
+
+/// Definition 2.1 dynamics (type-keyed transitions).
+class igt_protocol final : public protocol {
+ public:
+  explicit igt_protocol(std::size_t k,
+                        igt_discipline discipline = igt_discipline::one_way);
+
+  [[nodiscard]] std::size_t k() const { return k_; }
+  [[nodiscard]] igt_discipline discipline() const { return discipline_; }
+  [[nodiscard]] std::size_t num_states() const override { return 2 + k_; }
+
+  [[nodiscard]] std::pair<agent_state, agent_state> interact(
+      agent_state initiator, agent_state responder,
+      rng& gen) const override;
+
+  [[nodiscard]] std::string state_name(agent_state state) const override;
+
+ private:
+  /// Applies rules (i)-(iii) to one GTFT agent given its partner's state.
+  [[nodiscard]] agent_state updated_level(agent_state self,
+                                          agent_state partner) const;
+
+  std::size_t k_;
+  igt_discipline discipline_;
+};
+
+/// Action-keyed variant: the pair plays one repeated donation game and the
+/// GTFT initiator increments iff the opponent's last-round action was C.
+class igt_action_protocol final : public protocol {
+ public:
+  igt_action_protocol(std::size_t k, rd_setting setting, double g_max);
+
+  [[nodiscard]] std::size_t k() const { return k_; }
+  [[nodiscard]] std::size_t num_states() const override { return 2 + k_; }
+
+  [[nodiscard]] std::pair<agent_state, agent_state> interact(
+      agent_state initiator, agent_state responder,
+      rng& gen) const override;
+
+  [[nodiscard]] std::string state_name(agent_state state) const override;
+
+  /// The memory-one strategy an encoded state plays.
+  [[nodiscard]] memory_one_strategy strategy_of(agent_state state) const;
+
+ private:
+  std::size_t k_;
+  rd_setting setting_;
+  std::vector<double> grid_;
+};
+
+/// Builds the agent-state vector of an (alpha, beta, gamma) population with
+/// the given initial GTFT levels (one entry per GTFT agent, values in
+/// {0, ..., k-1}; validated against k).
+[[nodiscard]] std::vector<agent_state> make_igt_population_states(
+    const abg_population& pop, std::size_t k,
+    const std::vector<std::uint32_t>& gtft_levels);
+
+/// Convenience: all GTFT agents start at the same level.
+[[nodiscard]] std::vector<agent_state> make_igt_population_states(
+    const abg_population& pop, std::size_t k, std::size_t uniform_level);
+
+/// Extracts the GTFT level census (length-k count vector, the z_t of the
+/// paper) from a population simulated under either IGT protocol.
+[[nodiscard]] std::vector<std::uint64_t> gtft_level_counts(
+    const population& agents, std::size_t k);
+
+}  // namespace ppg

@@ -1,0 +1,58 @@
+#include "ppg/core/population_config.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "ppg/util/error.hpp"
+
+namespace ppg {
+
+double abg_population::lambda() const {
+  PPG_CHECK(num_ad > 0, "lambda requires a positive AD fraction");
+  const double b = beta();
+  return (1.0 - b) / b;
+}
+
+abg_population abg_population::from_fractions(std::uint64_t n, double alpha,
+                                              double beta, double gamma) {
+  PPG_CHECK(n >= 2, "population must have at least two agents");
+  PPG_CHECK(alpha >= 0.0 && beta >= 0.0 && gamma >= 0.0,
+            "fractions must be non-negative");
+  PPG_CHECK(std::abs(alpha + beta + gamma - 1.0) <= 1e-9,
+            "fractions must sum to 1");
+  const auto nd = static_cast<double>(n);
+  std::array<double, 3> exact = {alpha * nd, beta * nd, gamma * nd};
+  std::array<std::uint64_t, 3> counts{};
+  std::array<double, 3> remainders{};
+  std::uint64_t assigned = 0;
+  for (std::size_t i = 0; i < 3; ++i) {
+    counts[i] = static_cast<std::uint64_t>(std::floor(exact[i]));
+    remainders[i] = exact[i] - std::floor(exact[i]);
+    assigned += counts[i];
+  }
+  // Largest remainder method for the leftover agents.
+  while (assigned < n) {
+    const std::size_t argmax = static_cast<std::size_t>(std::distance(
+        remainders.begin(),
+        std::max_element(remainders.begin(), remainders.end())));
+    ++counts[argmax];
+    remainders[argmax] = -1.0;
+    ++assigned;
+  }
+  return {counts[0], counts[1], counts[2]};
+}
+
+ehrenfest_params igt_ehrenfest_params(const abg_population& pop,
+                                      std::size_t k) {
+  PPG_CHECK(pop.valid(), "invalid population");
+  PPG_CHECK(k >= 2, "k-IGT requires k >= 2");
+  ehrenfest_params params;
+  params.k = k;
+  params.a = pop.gamma() * (1.0 - pop.beta());
+  params.b = pop.gamma() * pop.beta();
+  params.m = pop.num_gtft;
+  return params;
+}
+
+}  // namespace ppg

@@ -1,0 +1,54 @@
+// (alpha, beta, gamma) populations (Section 1.1.2): fixed subpopulations of
+// AC and AD agents plus a gamma fraction of GTFT agents whose generosity
+// levels evolve under the k-IGT dynamics.
+#pragma once
+
+#include <cstdint>
+
+#include "ppg/ehrenfest/process.hpp"
+
+namespace ppg {
+
+/// Exact integer composition of an (alpha, beta, gamma) population. Stored
+/// as counts so that fractions are consistent by construction.
+struct abg_population {
+  std::uint64_t num_ac = 0;    ///< always-cooperate agents (alpha fraction)
+  std::uint64_t num_ad = 0;    ///< always-defect agents (beta fraction)
+  std::uint64_t num_gtft = 0;  ///< GTFT agents (gamma fraction, the m of the paper)
+
+  [[nodiscard]] std::uint64_t n() const {
+    return num_ac + num_ad + num_gtft;
+  }
+  [[nodiscard]] double alpha() const {
+    return static_cast<double>(num_ac) / static_cast<double>(n());
+  }
+  [[nodiscard]] double beta() const {
+    return static_cast<double>(num_ad) / static_cast<double>(n());
+  }
+  [[nodiscard]] double gamma() const {
+    return static_cast<double>(num_gtft) / static_cast<double>(n());
+  }
+
+  /// The paper's lambda = (1 - beta)/beta (Theorem 2.7); requires
+  /// num_ad > 0.
+  [[nodiscard]] double lambda() const;
+
+  /// Needs at least two agents total and at least one GTFT agent for the
+  /// dynamics to be non-trivial.
+  [[nodiscard]] bool valid() const { return n() >= 2 && num_gtft >= 1; }
+
+  /// Rounds target fractions to integer counts (largest-remainder method,
+  /// preserving n). Fractions must be non-negative and sum to 1.
+  [[nodiscard]] static abg_population from_fractions(std::uint64_t n,
+                                                     double alpha,
+                                                     double beta,
+                                                     double gamma);
+};
+
+/// The Ehrenfest parameters of the k-IGT count chain (Section 2.4): the
+/// sequence {z_t} is exactly a (k, a, b, m)-Ehrenfest process with
+/// a = gamma (1 - beta), b = gamma beta, m = gamma n.
+[[nodiscard]] ehrenfest_params igt_ehrenfest_params(
+    const abg_population& pop, std::size_t k);
+
+}  // namespace ppg

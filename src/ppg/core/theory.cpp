@@ -1,0 +1,153 @@
+#include "ppg/core/theory.hpp"
+
+#include <cmath>
+
+#include "ppg/games/strategy.hpp"
+#include "ppg/stats/distributions.hpp"
+#include "ppg/stats/empirical.hpp"
+#include "ppg/util/error.hpp"
+
+namespace ppg {
+namespace {
+
+void check_beta(double beta) {
+  PPG_CHECK(beta > 0.0 && beta < 1.0, "beta must lie in (0, 1)");
+}
+
+}  // namespace
+
+double average_stationary_generosity(double beta, std::size_t k,
+                                     double g_max) {
+  check_beta(beta);
+  PPG_CHECK(k >= 2, "k must be at least 2");
+  PPG_CHECK(g_max >= 0.0 && g_max <= 1.0, "g_max must be a probability");
+  if (std::abs(beta - 0.5) < 1e-15) {
+    return g_max / 2.0;
+  }
+  const double lambda = (1.0 - beta) / beta;
+  const auto kd = static_cast<double>(k);
+  const double lk = std::pow(lambda, kd);
+  const double lk1 = std::pow(lambda, kd - 1.0);
+  return g_max * (lk / (lk - 1.0) -
+                  (1.0 / (kd - 1.0)) * (lambda / (lambda - 1.0)) *
+                      ((lk1 - 1.0) / (lk - 1.0)));
+}
+
+double average_generosity_lower_bound(double beta, std::size_t k,
+                                      double g_max) {
+  check_beta(beta);
+  PPG_CHECK(beta < 0.5, "Corollary C.1 requires beta < 1/2");
+  PPG_CHECK(k >= 2, "k must be at least 2");
+  const double lambda = (1.0 - beta) / beta;
+  return g_max *
+         (1.0 - 1.0 / ((lambda - 1.0) * (static_cast<double>(k) - 1.0)));
+}
+
+double generosity_variance_bound(std::size_t k) {
+  PPG_CHECK(k >= 2, "k must be at least 2");
+  const auto kd = static_cast<double>(k);
+  return 16.0 / ((kd - 1.0) * (kd - 1.0));
+}
+
+double stationary_generosity_variance(double beta, std::size_t k,
+                                      double g_max) {
+  check_beta(beta);
+  const double lambda = (1.0 - beta) / beta;
+  const auto mu = geometric_weights(k, lambda);
+  const auto grid = generosity_grid(k, g_max);
+  return distribution_variance(mu, grid);
+}
+
+theorem_2_9_conditions check_theorem_2_9(const rd_setting& setting,
+                                         double beta, double gamma,
+                                         double g_max) {
+  PPG_CHECK(setting.valid(), "invalid RD setting");
+  check_beta(beta);
+  PPG_CHECK(gamma > 0.0 && gamma < 1.0, "gamma must lie in (0, 1)");
+  PPG_CHECK(g_max >= 0.0 && g_max <= 1.0, "g_max must be a probability");
+
+  theorem_2_9_conditions cond;
+  cond.s1_ok = setting.s1 >= 0.0 && setting.s1 < 1.0;
+  cond.lambda_ok = (1.0 - beta) / beta >= 2.0;
+
+  const double one_minus_s1 = 1.0 - setting.s1;
+  if (one_minus_s1 <= 0.0) {
+    return cond;  // remaining conditions are undefined for s1 = 1
+  }
+  cond.reward_ratio_ok =
+      setting.b / setting.c >
+      1.0 + beta * setting.c / (gamma * one_minus_s1);
+
+  const double ratio =
+      beta * setting.c /
+      (gamma * (setting.b - setting.c) * one_minus_s1);
+  if (ratio < 1.0) {
+    cond.delta_limit = std::sqrt(1.0 - ratio);
+    cond.delta_ok = setting.delta < cond.delta_limit;
+  } else {
+    cond.delta_limit = 0.0;
+    cond.delta_ok = false;
+  }
+
+  if (setting.delta > 0.0 && setting.delta < 1.0) {
+    const double inner = beta * setting.c /
+                         (gamma * (setting.b - setting.c) *
+                          (1.0 - setting.delta) * one_minus_s1);
+    cond.g_max_limit =
+        std::min(1.0, 1.0 - (inner - 1.0) / setting.delta);
+    cond.g_max_ok = g_max < cond.g_max_limit;
+  }
+
+  // Corrected deviation-gain condition (see the header comment): the payoff
+  // difference bracket from direct differentiation of (46), evaluated
+  // against the most generous opponent, must dominate the AD loss slope.
+  const double d = setting.delta;
+  const double w = 1.0 - g_max;
+  const double bracket = (setting.b - setting.c) * d * d * w +
+                         setting.b * d * d * d * w * w - setting.c * d;
+  cond.deviation_coefficient = gamma * one_minus_s1 * bracket -
+                               beta * d * setting.c / (1.0 - d);
+  cond.deviation_gain_ok = cond.deviation_coefficient > 0.0;
+  return cond;
+}
+
+theorem_2_9_instance make_theorem_2_9_instance(double beta, double gamma,
+                                               double s1) {
+  check_beta(beta);
+  PPG_CHECK((1.0 - beta) / beta >= 2.0,
+            "Theorem 2.9 instances require lambda >= 2 (beta <= 1/3)");
+  PPG_CHECK(s1 >= 0.0 && s1 < 1.0, "s1 must lie in [0, 1)");
+  // Search a grid of (b, delta, g_max) with c = 1 for a configuration that
+  // satisfies every condition with a little margin.
+  const double c = 1.0;
+  for (double b = 4.0; b <= 4096.0; b *= 2.0) {
+    rd_setting setting{b, c, 0.0, s1};
+    for (const double delta_frac : {0.5, 0.7, 0.9}) {
+      theorem_2_9_conditions probe =
+          check_theorem_2_9({b, c, 0.0, s1}, beta, gamma, 0.0);
+      if (probe.delta_limit <= 0.0) continue;
+      setting.delta = delta_frac * probe.delta_limit;
+      if (setting.delta <= 0.0 || setting.delta >= 1.0) continue;
+      theorem_2_9_conditions with_delta =
+          check_theorem_2_9(setting, beta, gamma, 0.0);
+      if (with_delta.g_max_limit <= 0.0) continue;
+      // Respect both the paper's g_max constraint and the corrected
+      // deviation-gain regime: keep generosity locally beneficial against
+      // the most generous opponent (cf. Proposition 2.2's
+      // g_max < 1 - c/(delta b)).
+      const double local_gain_limit = 1.0 - c / (setting.delta * b);
+      const double g_max =
+          0.9 * std::min(with_delta.g_max_limit, local_gain_limit);
+      if (g_max <= 0.0) continue;
+      const theorem_2_9_conditions final_check =
+          check_theorem_2_9(setting, beta, gamma, g_max);
+      if (final_check.all()) {
+        return {setting, g_max};
+      }
+    }
+  }
+  PPG_CHECK(false,
+            "no Theorem 2.9 instance found for these population fractions");
+}
+
+}  // namespace ppg

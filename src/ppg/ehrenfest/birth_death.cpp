@@ -1,0 +1,95 @@
+#include "ppg/ehrenfest/birth_death.hpp"
+
+#include <cmath>
+
+#include "ppg/markov/random_walk.hpp"
+#include "ppg/stats/distributions.hpp"
+#include "ppg/util/error.hpp"
+
+namespace ppg {
+
+finite_chain two_urn_projected_chain(const ehrenfest_params& params) {
+  PPG_CHECK(params.valid(), "invalid Ehrenfest parameters");
+  PPG_CHECK(params.k == 2, "projection defined for k = 2");
+  const auto m = params.m;
+  const auto md = static_cast<double>(m);
+  finite_chain chain(static_cast<std::size_t>(m) + 1);
+  for (std::uint64_t x = 0; x <= m; ++x) {
+    double stay = 1.0;
+    // A ball in urn 2 (m - x of them) moves down into urn 1 w.p. b each.
+    if (x < m) {
+      const double up = params.b * static_cast<double>(m - x) / md;
+      chain.add_transition(static_cast<std::size_t>(x),
+                           static_cast<std::size_t>(x + 1), up);
+      stay -= up;
+    }
+    // A ball in urn 1 (x of them) moves up into urn 2 w.p. a each.
+    if (x > 0) {
+      const double down = params.a * static_cast<double>(x) / md;
+      chain.add_transition(static_cast<std::size_t>(x),
+                           static_cast<std::size_t>(x - 1), down);
+      stay -= down;
+    }
+    PPG_CHECK(stay > -1e-12, "projection probabilities exceed 1");
+    if (stay > 0.0) {
+      chain.add_transition(static_cast<std::size_t>(x),
+                           static_cast<std::size_t>(x), stay);
+    }
+  }
+  return chain;
+}
+
+std::vector<double> two_urn_projected_stationary(
+    const ehrenfest_params& params) {
+  PPG_CHECK(params.valid(), "invalid Ehrenfest parameters");
+  PPG_CHECK(params.k == 2, "projection defined for k = 2");
+  const double p = 1.0 / (1.0 + params.lambda());
+  std::vector<double> pi(static_cast<std::size_t>(params.m) + 1);
+  for (std::uint64_t x = 0; x <= params.m; ++x) {
+    pi[static_cast<std::size_t>(x)] = binomial_pmf(params.m, p, x);
+  }
+  return pi;
+}
+
+std::vector<double> single_ball_marginal(const ehrenfest_params& params,
+                                         std::size_t start,
+                                         std::uint64_t t) {
+  PPG_CHECK(params.valid(), "invalid Ehrenfest parameters");
+  PPG_CHECK(start < params.k, "start level out of range");
+  // The ball's level conditioned on s selections is the s-step reflecting
+  // walk; selections are Binomial(t, 1/m). Sum over s, truncating once the
+  // binomial tail is negligible.
+  const auto chain = reflecting_walk_chain(params.k, {params.a, params.b});
+  std::vector<double> walk(params.k, 0.0);
+  walk[start] = 1.0;
+  std::vector<double> marginal(params.k, 0.0);
+  const double p_select = 1.0 / static_cast<double>(params.m);
+  double covered = 0.0;
+  const std::uint64_t s_max =
+      t;  // upper limit; loop exits early via tail bound
+  for (std::uint64_t s = 0; s <= s_max; ++s) {
+    const double weight = binomial_pmf(t, p_select, s);
+    if (weight > 0.0) {
+      for (std::size_t j = 0; j < params.k; ++j) {
+        marginal[j] += weight * walk[j];
+      }
+      covered += weight;
+    }
+    // Stop once essentially all binomial mass is covered; the remaining
+    // contribution is assigned to the current (nearly stationary) walk
+    // distribution, keeping the output an exact distribution up to 1e-12.
+    if (covered > 1.0 - 1e-12) break;
+    // Early exit is also safe once the walk has numerically converged: all
+    // later terms contribute the same vector.
+    walk = chain.step(walk);
+  }
+  const double remainder = 1.0 - covered;
+  if (remainder > 0.0) {
+    for (std::size_t j = 0; j < params.k; ++j) {
+      marginal[j] += remainder * walk[j];
+    }
+  }
+  return marginal;
+}
+
+}  // namespace ppg

@@ -1,0 +1,34 @@
+#include "ppg/ehrenfest/bounds.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ppg/util/error.hpp"
+
+namespace ppg {
+
+double coalescence_bound(const ehrenfest_params& params) {
+  PPG_CHECK(params.valid(), "invalid Ehrenfest parameters");
+  const auto k = static_cast<double>(params.k);
+  const double gap = std::abs(params.a - params.b);
+  if (gap < 1e-15) {
+    return k * k;
+  }
+  return std::min(k / gap, k * k);
+}
+
+double phi_bound(const ehrenfest_params& params) {
+  return coalescence_bound(params) * static_cast<double>(params.m);
+}
+
+double mixing_upper_bound(const ehrenfest_params& params) {
+  return 2.0 * phi_bound(params) *
+         std::log(4.0 * static_cast<double>(params.m));
+}
+
+double mixing_lower_bound(const ehrenfest_params& params) {
+  PPG_CHECK(params.valid(), "invalid Ehrenfest parameters");
+  return static_cast<double>(params.k) * static_cast<double>(params.m) / 2.0;
+}
+
+}  // namespace ppg

@@ -1,0 +1,26 @@
+// Closed-form mixing-time bounds from Theorem 2.5 / Lemma A.8 /
+// Proposition A.9, used by the bench harness as the "paper-predicted"
+// columns.
+#pragma once
+
+#include "ppg/ehrenfest/process.hpp"
+
+namespace ppg {
+
+/// Phi from Lemma A.8: min{k/|a-b|, k^2} * m for a != b, k^2 * m otherwise.
+/// (Equality is detected with a small tolerance.)
+[[nodiscard]] double phi_bound(const ehrenfest_params& params);
+
+/// The explicit coupling-time tail bound: with t = 2 Phi log(4m),
+/// Pr[tau_couple > t] <= 1/4, hence t_mix <= t (Lemma A.8 + (22)).
+[[nodiscard]] double mixing_upper_bound(const ehrenfest_params& params);
+
+/// Diameter lower bound: t_mix >= km/2 (Proposition A.9).
+[[nodiscard]] double mixing_lower_bound(const ehrenfest_params& params);
+
+/// Per-coordinate expected coalescence bound of Lemma A.5:
+/// min{k/|a-b|, k^2} (a != b) or k^2 (a = b) *moves of that coordinate*;
+/// multiplied by m gives the expected coupling steps (equation (23)).
+[[nodiscard]] double coalescence_bound(const ehrenfest_params& params);
+
+}  // namespace ppg

@@ -1,0 +1,52 @@
+#include "ppg/ehrenfest/coordinate_walk.hpp"
+
+#include "ppg/util/error.hpp"
+
+namespace ppg {
+
+coordinate_walk::coordinate_walk(ehrenfest_params params,
+                                 std::size_t initial_value)
+    : coordinate_walk(params,
+                      std::vector<std::uint32_t>(
+                          params.m, static_cast<std::uint32_t>(initial_value))) {
+}
+
+coordinate_walk::coordinate_walk(ehrenfest_params params,
+                                 std::vector<std::uint32_t> initial_values)
+    : params_(params), values_(std::move(initial_values)) {
+  PPG_CHECK(params_.valid(), "invalid Ehrenfest parameters");
+  PPG_CHECK(values_.size() == params_.m, "need one value per ball");
+  counts_.assign(params_.k, 0);
+  for (const auto v : values_) {
+    PPG_CHECK(v < params_.k, "coordinate value out of range");
+    ++counts_[v];
+  }
+}
+
+void coordinate_walk::step(rng& gen) {
+  const std::uint64_t i = gen.next_below(params_.m);
+  const double u = gen.next_double();
+  const std::uint32_t v = values_[i];
+  if (u < params_.a) {
+    if (v + 1 < params_.k) {
+      values_[i] = v + 1;
+      --counts_[v];
+      ++counts_[v + 1];
+    }
+  } else if (u < params_.a + params_.b) {
+    if (v > 0) {
+      values_[i] = v - 1;
+      --counts_[v];
+      ++counts_[v - 1];
+    }
+  }
+  ++time_;
+}
+
+void coordinate_walk::run(std::uint64_t steps, rng& gen) {
+  for (std::uint64_t i = 0; i < steps; ++i) {
+    step(gen);
+  }
+}
+
+}  // namespace ppg

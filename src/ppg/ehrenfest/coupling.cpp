@@ -1,0 +1,54 @@
+#include "ppg/ehrenfest/coupling.hpp"
+
+#include "ppg/util/error.hpp"
+
+namespace ppg {
+
+coupling_run simulate_coupling(const ehrenfest_params& params,
+                               std::vector<std::uint32_t> x0,
+                               std::vector<std::uint32_t> y0,
+                               std::uint64_t max_steps, rng& gen) {
+  PPG_CHECK(params.valid(), "invalid Ehrenfest parameters");
+  PPG_CHECK(x0.size() == params.m && y0.size() == params.m,
+            "coordinate vectors must have length m");
+  const auto kmax = static_cast<std::uint32_t>(params.k - 1);
+  std::uint64_t disagreements = 0;
+  for (std::size_t i = 0; i < x0.size(); ++i) {
+    PPG_CHECK(x0[i] <= kmax && y0[i] <= kmax, "coordinate out of range");
+    if (x0[i] != y0[i]) ++disagreements;
+  }
+
+  coupling_run result;
+  while (disagreements > 0 && result.coupling_time < max_steps) {
+    const std::uint64_t i = gen.next_below(params.m);
+    const double u = gen.next_double();
+    const bool was_equal = x0[i] == y0[i];
+    if (u < params.a) {
+      if (x0[i] < kmax) ++x0[i];
+      if (y0[i] < kmax) ++y0[i];
+    } else if (u < params.a + params.b) {
+      if (x0[i] > 0) --x0[i];
+      if (y0[i] > 0) --y0[i];
+    }
+    const bool is_equal = x0[i] == y0[i];
+    if (was_equal && !is_equal) {
+      ++disagreements;  // cannot happen under truncation, kept as a guard
+    } else if (!was_equal && is_equal) {
+      --disagreements;
+    }
+    ++result.coupling_time;
+  }
+  result.coalesced = disagreements == 0;
+  return result;
+}
+
+coupling_run simulate_corner_coupling(const ehrenfest_params& params,
+                                      std::uint64_t max_steps, rng& gen) {
+  std::vector<std::uint32_t> x0(params.m, 0);
+  std::vector<std::uint32_t> y0(params.m,
+                                static_cast<std::uint32_t>(params.k - 1));
+  return simulate_coupling(params, std::move(x0), std::move(y0), max_steps,
+                           gen);
+}
+
+}  // namespace ppg

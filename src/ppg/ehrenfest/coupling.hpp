@@ -1,0 +1,34 @@
+// The coupling of Appendix A.4.1: two coordinate walks {X_t}, {Y_t} on
+// {0, ..., k-1}^m share all randomness — at each step the same coordinate i
+// is sampled and both walks apply the same increment/decrement draw
+// (truncated independently). Coordinate distances |X^i - Y^i| are
+// non-increasing, so the walks coalesce; the coupling time upper-bounds
+// mixing via d(t) <= Pr[tau_couple > t].
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "ppg/ehrenfest/process.hpp"
+#include "ppg/util/rng.hpp"
+
+namespace ppg {
+
+/// Result of one coupling simulation.
+struct coupling_run {
+  std::uint64_t coupling_time = 0;  ///< first t with X_t == Y_t
+  bool coalesced = false;           ///< false if max_steps was hit first
+};
+
+/// Runs the shared-randomness coupling from two coordinate assignments until
+/// coalescence or max_steps.
+[[nodiscard]] coupling_run simulate_coupling(
+    const ehrenfest_params& params, std::vector<std::uint32_t> x0,
+    std::vector<std::uint32_t> y0, std::uint64_t max_steps, rng& gen);
+
+/// Worst-case start: X at all-0, Y at all-(k-1) (the diameter pair).
+[[nodiscard]] coupling_run simulate_corner_coupling(
+    const ehrenfest_params& params, std::uint64_t max_steps, rng& gen);
+
+}  // namespace ppg

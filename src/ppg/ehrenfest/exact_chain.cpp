@@ -1,0 +1,76 @@
+#include "ppg/ehrenfest/exact_chain.hpp"
+
+#include "ppg/ehrenfest/stationary.hpp"
+#include "ppg/util/error.hpp"
+
+namespace ppg {
+
+finite_chain build_ehrenfest_chain(const ehrenfest_params& params,
+                                   const simplex_index& index) {
+  PPG_CHECK(params.valid(), "invalid Ehrenfest parameters");
+  PPG_CHECK(index.k() == params.k && index.m() == params.m,
+            "simplex index does not match parameters");
+  finite_chain chain(index.size());
+  const auto md = static_cast<double>(params.m);
+  auto x = index.first();
+  std::size_t from = 0;
+  do {
+    const std::size_t r = index.rank(x);
+    PPG_CHECK(r == from, "enumeration order mismatch");
+    double stay = 1.0;
+    for (std::size_t j = 0; j + 1 < params.k; ++j) {
+      // Up-move j -> j+1 with probability a * x_j / m.
+      if (x[j] > 0) {
+        const double p = params.a * static_cast<double>(x[j]) / md;
+        auto y = x;
+        --y[j];
+        ++y[j + 1];
+        chain.add_transition(from, index.rank(y), p);
+        stay -= p;
+      }
+      // Down-move j+1 -> j with probability b * x_{j+1} / m.
+      if (x[j + 1] > 0) {
+        const double p = params.b * static_cast<double>(x[j + 1]) / md;
+        auto y = x;
+        ++y[j];
+        --y[j + 1];
+        chain.add_transition(from, index.rank(y), p);
+        stay -= p;
+      }
+    }
+    PPG_CHECK(stay > -1e-12, "transition probabilities exceed 1");
+    if (stay > 0.0) {
+      chain.add_transition(from, from, stay);
+    }
+    ++from;
+  } while (index.next(x));
+  PPG_CHECK(from == index.size(), "enumeration did not cover the simplex");
+  return chain;
+}
+
+std::vector<double> exact_stationary_vector(const ehrenfest_params& params,
+                                            const simplex_index& index) {
+  PPG_CHECK(index.k() == params.k && index.m() == params.m,
+            "simplex index does not match parameters");
+  std::vector<double> pi(index.size());
+  auto x = index.first();
+  std::size_t r = 0;
+  do {
+    pi[r] = ehrenfest_stationary_pmf(params, x);
+    ++r;
+  } while (index.next(x));
+  return pi;
+}
+
+corner_states find_corner_states(const simplex_index& index) {
+  corner_states corners;
+  std::vector<std::uint64_t> bottom(index.k(), 0);
+  bottom[0] = index.m();
+  std::vector<std::uint64_t> top(index.k(), 0);
+  top[index.k() - 1] = index.m();
+  corners.bottom = index.rank(bottom);
+  corners.top = index.rank(top);
+  return corners;
+}
+
+}  // namespace ppg

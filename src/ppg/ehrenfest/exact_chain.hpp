@@ -1,0 +1,34 @@
+// Exact transition operator of the (k, a, b, m)-Ehrenfest process over the
+// enumerated simplex, for small state spaces: enables exact stationary
+// verification (Theorem 2.4), exact TV-decay curves, and measured mixing
+// times (Theorem 2.5).
+#pragma once
+
+#include <vector>
+
+#include "ppg/ehrenfest/process.hpp"
+#include "ppg/ehrenfest/simplex.hpp"
+#include "ppg/markov/chain.hpp"
+
+namespace ppg {
+
+/// Builds the full transition matrix of Definition 2.3 over the states
+/// ranked by `index` (which must match params.k and params.m).
+[[nodiscard]] finite_chain build_ehrenfest_chain(const ehrenfest_params& params,
+                                                 const simplex_index& index);
+
+/// The closed-form stationary distribution as a dense vector over the ranked
+/// states (multinomial PMF per Theorem 2.4).
+[[nodiscard]] std::vector<double> exact_stationary_vector(
+    const ehrenfest_params& params, const simplex_index& index);
+
+/// Ranks of the two corner states (m, 0, ..., 0) and (0, ..., 0, m); these
+/// are the extreme starts used for mixing-time measurement (the diameter
+/// path of Proposition A.9 runs between them).
+struct corner_states {
+  std::size_t bottom = 0;  ///< all balls in urn 1: (m, 0, ..., 0)
+  std::size_t top = 0;     ///< all balls in urn k: (0, ..., 0, m)
+};
+[[nodiscard]] corner_states find_corner_states(const simplex_index& index);
+
+}  // namespace ppg

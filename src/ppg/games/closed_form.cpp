@@ -1,0 +1,98 @@
+#include "ppg/games/closed_form.hpp"
+
+#include <cmath>
+
+#include "ppg/util/error.hpp"
+
+namespace ppg {
+namespace {
+
+void check_setting(const rd_setting& s) {
+  PPG_CHECK(s.valid(), "invalid RD setting");
+}
+
+void check_generosity(double g) {
+  PPG_CHECK(g >= 0.0 && g <= 1.0, "generosity must be a probability");
+}
+
+}  // namespace
+
+double f_gtft_vs_ac(const rd_setting& s) {
+  check_setting(s);
+  return s.c * (1.0 - s.s1) + (s.b - s.c) / (1.0 - s.delta);
+}
+
+double f_gtft_vs_ad(const rd_setting& s, double g) {
+  check_setting(s);
+  check_generosity(g);
+  return -s.c * s.s1 - s.c * g * s.delta / (1.0 - s.delta);
+}
+
+double f_gtft_vs_gtft(const rd_setting& s, double g, double g_prime) {
+  check_setting(s);
+  check_generosity(g);
+  check_generosity(g_prime);
+  const double d = s.delta;
+  const double denom = 1.0 - d * d * (1.0 - g) * (1.0 - g_prime);
+  return s.s1 * (s.b - s.c) + (s.b - s.c) * d / (1.0 - d) +
+         s.c * (1.0 - s.s1) *
+             (d * d * (1.0 - g) * (1.0 - g_prime) + d * (1.0 - g)) / denom -
+         s.b * (1.0 - s.s1) *
+             (d * d * (1.0 - g) * (1.0 - g_prime) + d * (1.0 - g_prime)) /
+             denom;
+}
+
+double df_dg_gtft_vs_gtft(const rd_setting& s, double g, double g_prime) {
+  check_setting(s);
+  check_generosity(g);
+  check_generosity(g_prime);
+  const double d = s.delta;
+  const double one_minus_gp = 1.0 - g_prime;
+  const double denom = 1.0 - d * d * (1.0 - g) * one_minus_gp;
+  const double denom2 = denom * denom;
+  return (1.0 - s.s1) * s.c * (-d * d * one_minus_gp - d) / denom2 -
+         (1.0 - s.s1) * s.b *
+             (-d * d * one_minus_gp - d * d * d * one_minus_gp * one_minus_gp) /
+             denom2;
+}
+
+double d2f_dg2_gtft_vs_gtft(const rd_setting& s, double g, double g_prime) {
+  check_setting(s);
+  check_generosity(g);
+  check_generosity(g_prime);
+  const double d = s.delta;
+  const double one_minus_gp = 1.0 - g_prime;
+  const double denom = 1.0 - d * d * (1.0 - g) * one_minus_gp;
+  const double denom3 = denom * denom * denom;
+  return (1.0 - s.s1) *
+         (s.c * 2.0 * d * d * d * one_minus_gp * (1.0 + d * one_minus_gp) -
+          s.b * 2.0 * d * d * d * d * one_minus_gp * one_minus_gp *
+              (1.0 + d * one_minus_gp)) /
+         denom3;
+}
+
+double second_derivative_bound(const rd_setting& s, double g_max) {
+  check_setting(s);
+  check_generosity(g_max);
+  // Equations (58)-(59) bound the c-term and b-term of (57) separately; by
+  // the triangle inequality, with (1 - g') <= 1 and the denominator at its
+  // minimum (1 - delta^2)^3 over g, g' in [0, g_max]:
+  //   |d2f/dg2| <= (1 - s1) * 2 delta^3 (1 + delta) (c + b delta)
+  //                / (1 - delta^2)^3.
+  // This is the uniform constant L used in Proposition D.1; it is loose but
+  // provably valid on the whole square.
+  const double d = s.delta;
+  const double denom_min = 1.0 - d * d;
+  return (1.0 - s.s1) * 2.0 * d * d * d * (1.0 + d) * (s.c + s.b * d) /
+         (denom_min * denom_min * denom_min);
+}
+
+bool proposition_2_2_regime(const rd_setting& s, double g_max) {
+  check_setting(s);
+  check_generosity(g_max);
+  if (s.s1 >= 1.0) return false;
+  if (!(s.delta > s.c / s.b)) return false;
+  return g_max < 1.0 - s.c / (s.delta * s.b);
+}
+
+}  // namespace ppg

@@ -1,0 +1,14 @@
+#include "ppg/games/donation.hpp"
+
+namespace ppg {
+
+bool pd_payoffs::is_prisoners_dilemma() const {
+  // Strict PD ordering plus the standard alternation condition. The donation
+  // game with b > c > 0 satisfies all of these; c = 0 degenerates (P = S),
+  // which we deliberately reject here even though the paper allows c = 0 as
+  // a boundary case for the reward vector.
+  return temptation > reward && reward > punishment && punishment > sucker &&
+         2.0 * reward > temptation + sucker;
+}
+
+}  // namespace ppg

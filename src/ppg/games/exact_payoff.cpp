@@ -1,0 +1,95 @@
+#include "ppg/games/exact_payoff.hpp"
+
+#include "ppg/linalg/lu.hpp"
+#include "ppg/util/error.hpp"
+
+namespace ppg {
+
+matrix round_transition_matrix(const memory_one_strategy& row,
+                               const memory_one_strategy& col) {
+  PPG_CHECK(row.valid() && col.valid(), "invalid strategy");
+  matrix m(num_game_states, num_game_states);
+  for (std::size_t s = 0; s < num_game_states; ++s) {
+    const auto state = static_cast<game_state>(s);
+    const double p_row = row.response(state);
+    const double p_col = col.response(swapped(state));
+    const double probs[2] = {p_row, 1.0 - p_row};
+    const double qrobs[2] = {p_col, 1.0 - p_col};
+    for (std::size_t ra = 0; ra < 2; ++ra) {
+      for (std::size_t ca = 0; ca < 2; ++ca) {
+        const auto next = make_state(static_cast<action>(ra),
+                                     static_cast<action>(ca));
+        m(s, static_cast<std::size_t>(next)) += probs[ra] * qrobs[ca];
+      }
+    }
+  }
+  return m;
+}
+
+std::vector<double> initial_state_distribution(
+    const memory_one_strategy& row, const memory_one_strategy& col) {
+  PPG_CHECK(row.valid() && col.valid(), "invalid strategy");
+  const double p = row.initial_cooperation;
+  const double q = col.initial_cooperation;
+  return {p * q, p * (1.0 - q), (1.0 - p) * q, (1.0 - p) * (1.0 - q)};
+}
+
+std::vector<double> expected_state_occupation(
+    const repeated_donation_game& rdg, const memory_one_strategy& row,
+    const memory_one_strategy& col) {
+  PPG_CHECK(rdg.valid(), "invalid repeated game setting");
+  const matrix m = round_transition_matrix(row, col);
+  // Solve w (I - delta M) = q1 for the row vector w, i.e.
+  // (I - delta M)^T w = q1.
+  matrix a = matrix::identity(num_game_states);
+  a -= rdg.delta * m;
+  const auto q1 = initial_state_distribution(row, col);
+  return lu_decomposition(std::move(a)).solve_transposed(q1);
+}
+
+double expected_payoff(const repeated_donation_game& rdg,
+                       const memory_one_strategy& row,
+                       const memory_one_strategy& col) {
+  const auto occupation = expected_state_occupation(rdg, row, col);
+  const auto v = rdg.game.reward_vector();
+  double payoff = 0.0;
+  for (std::size_t s = 0; s < num_game_states; ++s) {
+    payoff += occupation[s] * v[s];
+  }
+  return payoff;
+}
+
+std::pair<double, double> expected_payoffs(const repeated_donation_game& rdg,
+                                           const memory_one_strategy& row,
+                                           const memory_one_strategy& col) {
+  // By the symmetry of the round structure, the column player's payoff is
+  // the row payoff of the swapped pairing.
+  return {expected_payoff(rdg, row, col), expected_payoff(rdg, col, row)};
+}
+
+double cooperation_rate(const repeated_donation_game& rdg,
+                        const memory_one_strategy& row,
+                        const memory_one_strategy& col) {
+  const auto occupation = expected_state_occupation(rdg, row, col);
+  const double cooperating =
+      occupation[static_cast<std::size_t>(game_state::cc)] +
+      occupation[static_cast<std::size_t>(game_state::cd)];
+  return cooperating / rdg.expected_rounds();
+}
+
+payoff_oracle::payoff_oracle(repeated_donation_game rdg, double s1)
+    : rdg_(rdg), s1_(s1) {
+  PPG_CHECK(rdg_.valid(), "invalid repeated game setting");
+  PPG_CHECK(s1 >= 0.0 && s1 <= 1.0, "s1 must be a probability");
+}
+
+double payoff_oracle::payoff(const paper_strategy& s1,
+                             const paper_strategy& s2) const {
+  return expected_payoff(rdg_, s1.to_memory_one(s1_), s2.to_memory_one(s1_));
+}
+
+double payoff_oracle::gtft_payoff(double g, const paper_strategy& s2) const {
+  return payoff(paper_strategy::gtft(g), s2);
+}
+
+}  // namespace ppg

@@ -1,0 +1,53 @@
+#include "ppg/games/rollout.hpp"
+
+#include "ppg/util/error.hpp"
+
+namespace ppg {
+
+rollout_result play_repeated_game(const repeated_donation_game& rdg,
+                                  const memory_one_strategy& row,
+                                  const memory_one_strategy& col, rng& gen) {
+  PPG_CHECK(rdg.valid(), "invalid repeated game setting");
+  PPG_CHECK(row.valid() && col.valid(), "invalid strategy");
+  const auto v = rdg.game.reward_vector();
+
+  rollout_result result;
+  action row_act = gen.next_bernoulli(row.initial_cooperation)
+                       ? action::cooperate
+                       : action::defect;
+  action col_act = gen.next_bernoulli(col.initial_cooperation)
+                       ? action::cooperate
+                       : action::defect;
+  while (true) {
+    const game_state state = make_state(row_act, col_act);
+    result.row_payoff += v[static_cast<std::size_t>(state)];
+    result.col_payoff += v[static_cast<std::size_t>(swapped(state))];
+    result.rounds += 1;
+    result.row_cooperations += row_act == action::cooperate ? 1 : 0;
+    result.col_cooperations += col_act == action::cooperate ? 1 : 0;
+    if (!gen.next_bernoulli(rdg.delta)) break;
+    const action next_row = gen.next_bernoulli(row.response(state))
+                                ? action::cooperate
+                                : action::defect;
+    const action next_col = gen.next_bernoulli(col.response(swapped(state)))
+                                ? action::cooperate
+                                : action::defect;
+    row_act = next_row;
+    col_act = next_col;
+  }
+  return result;
+}
+
+running_summary estimate_payoff(const repeated_donation_game& rdg,
+                                const memory_one_strategy& row,
+                                const memory_one_strategy& col,
+                                std::size_t trials, rng& gen) {
+  PPG_CHECK(trials > 0, "need at least one trial");
+  running_summary summary;
+  for (std::size_t i = 0; i < trials; ++i) {
+    summary.add(play_repeated_game(rdg, row, col, gen).row_payoff);
+  }
+  return summary;
+}
+
+}  // namespace ppg

@@ -1,0 +1,35 @@
+// Monte-Carlo simulation of single repeated donation games: plays the
+// round-by-round process exactly as defined in Section 1.1.2 (independent
+// continuation with probability delta after every round) and accumulates
+// realized payoffs. Cross-validates the exact oracle in exact_payoff.hpp.
+#pragma once
+
+#include <cstdint>
+
+#include "ppg/games/exact_payoff.hpp"
+#include "ppg/stats/summary.hpp"
+#include "ppg/util/rng.hpp"
+
+namespace ppg {
+
+/// Outcome of one simulated repeated game.
+struct rollout_result {
+  double row_payoff = 0.0;
+  double col_payoff = 0.0;
+  std::uint64_t rounds = 0;
+  std::uint64_t row_cooperations = 0;
+  std::uint64_t col_cooperations = 0;
+};
+
+/// Plays one full repeated game between two memory-one strategies.
+[[nodiscard]] rollout_result play_repeated_game(
+    const repeated_donation_game& rdg, const memory_one_strategy& row,
+    const memory_one_strategy& col, rng& gen);
+
+/// Monte-Carlo estimate of the row player's expected payoff over `trials`
+/// independent games.
+[[nodiscard]] running_summary estimate_payoff(
+    const repeated_donation_game& rdg, const memory_one_strategy& row,
+    const memory_one_strategy& col, std::size_t trials, rng& gen);
+
+}  // namespace ppg

@@ -1,0 +1,81 @@
+// Dense row-major matrix with the small set of operations the library needs:
+// products, transposition, row-vector multiplication, norms. No external
+// BLAS/LAPACK dependency — matrices here are small (4x4 round chains, modest
+// exact state spaces).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ppg/util/error.hpp"
+
+namespace ppg {
+
+class matrix {
+ public:
+  matrix() = default;
+  matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  /// Builds from nested initializer-style data; all rows must have equal
+  /// length.
+  static matrix from_rows(const std::vector<std::vector<double>>& rows);
+
+  /// Identity matrix of the given size.
+  static matrix identity(std::size_t n);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  [[nodiscard]] double& operator()(std::size_t r, std::size_t c) {
+    PPG_CHECK(r < rows_ && c < cols_, "matrix index out of range");
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double operator()(std::size_t r, std::size_t c) const {
+    PPG_CHECK(r < rows_ && c < cols_, "matrix index out of range");
+    return data_[r * cols_ + c];
+  }
+
+  /// Unchecked access for hot loops (exact chain evolution).
+  [[nodiscard]] double at_unchecked(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  matrix& operator+=(const matrix& other);
+  matrix& operator-=(const matrix& other);
+  matrix& operator*=(double scalar);
+
+  [[nodiscard]] matrix transposed() const;
+
+  /// Max absolute entry.
+  [[nodiscard]] double max_abs() const;
+
+  /// Row sums (useful for verifying stochasticity).
+  [[nodiscard]] std::vector<double> row_sums() const;
+
+  /// True if every row sums to 1 within tol and all entries >= -tol.
+  [[nodiscard]] bool is_row_stochastic(double tol = 1e-9) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+[[nodiscard]] matrix operator+(matrix lhs, const matrix& rhs);
+[[nodiscard]] matrix operator-(matrix lhs, const matrix& rhs);
+[[nodiscard]] matrix operator*(const matrix& lhs, const matrix& rhs);
+[[nodiscard]] matrix operator*(double scalar, matrix m);
+
+/// Row-vector times matrix: result_j = sum_i v_i * m(i, j).
+[[nodiscard]] std::vector<double> row_times(const std::vector<double>& v,
+                                            const matrix& m);
+
+/// Matrix times column vector.
+[[nodiscard]] std::vector<double> times_col(const matrix& m,
+                                            const std::vector<double>& v);
+
+/// Dot product of two equally sized vectors.
+[[nodiscard]] double dot(const std::vector<double>& a,
+                         const std::vector<double>& b);
+
+}  // namespace ppg

@@ -1,0 +1,124 @@
+#include "ppg/markov/absorbing.hpp"
+
+#include "ppg/linalg/lu.hpp"
+#include "ppg/linalg/matrix.hpp"
+#include "ppg/util/error.hpp"
+
+namespace ppg {
+namespace {
+
+// Maps transient states to a compact index; returns (map, transient list).
+std::pair<std::vector<std::size_t>, std::vector<std::size_t>>
+transient_indexing(const std::vector<bool>& absorbing) {
+  std::vector<std::size_t> to_compact(absorbing.size(),
+                                      static_cast<std::size_t>(-1));
+  std::vector<std::size_t> transient;
+  for (std::size_t i = 0; i < absorbing.size(); ++i) {
+    if (!absorbing[i]) {
+      to_compact[i] = transient.size();
+      transient.push_back(i);
+    }
+  }
+  return {std::move(to_compact), std::move(transient)};
+}
+
+// Builds I - Q over the transient states.
+matrix build_i_minus_q(const finite_chain& chain,
+                       const std::vector<bool>& absorbing,
+                       const std::vector<std::size_t>& to_compact,
+                       const std::vector<std::size_t>& transient) {
+  matrix a(transient.size(), transient.size());
+  for (std::size_t row = 0; row < transient.size(); ++row) {
+    a(row, row) = 1.0;
+    for (const auto& t : chain.row(transient[row])) {
+      if (!absorbing[t.target]) {
+        a(row, to_compact[t.target]) -= t.probability;
+      }
+    }
+  }
+  return a;
+}
+
+}  // namespace
+
+std::vector<double> expected_absorption_times(
+    const finite_chain& chain, const std::vector<bool>& absorbing) {
+  PPG_CHECK(absorbing.size() == chain.num_states(),
+            "absorbing mask size mismatch");
+  const auto [to_compact, transient] = transient_indexing(absorbing);
+  std::vector<double> times(chain.num_states(), 0.0);
+  if (transient.empty()) return times;
+  const matrix a = build_i_minus_q(chain, absorbing, to_compact, transient);
+  const std::vector<double> ones(transient.size(), 1.0);
+  const auto t = solve(a, ones);
+  for (std::size_t i = 0; i < transient.size(); ++i) {
+    PPG_CHECK(t[i] >= 0.0, "negative absorption time: bad chain structure");
+    times[transient[i]] = t[i];
+  }
+  return times;
+}
+
+std::vector<double> absorption_probabilities(
+    const finite_chain& chain, const std::vector<bool>& absorbing,
+    const std::vector<bool>& target) {
+  PPG_CHECK(absorbing.size() == chain.num_states(),
+            "absorbing mask size mismatch");
+  PPG_CHECK(target.size() == chain.num_states(), "target mask size mismatch");
+  for (std::size_t i = 0; i < target.size(); ++i) {
+    PPG_CHECK(!target[i] || absorbing[i],
+              "target states must be absorbing");
+  }
+  const auto [to_compact, transient] = transient_indexing(absorbing);
+  std::vector<double> probs(chain.num_states(), 0.0);
+  for (std::size_t i = 0; i < target.size(); ++i) {
+    if (target[i]) probs[i] = 1.0;
+  }
+  if (transient.empty()) return probs;
+  const matrix a = build_i_minus_q(chain, absorbing, to_compact, transient);
+  // Right-hand side: one-step probability of landing in the target set.
+  std::vector<double> rhs(transient.size(), 0.0);
+  for (std::size_t row = 0; row < transient.size(); ++row) {
+    for (const auto& t : chain.row(transient[row])) {
+      if (target[t.target]) {
+        rhs[row] += t.probability;
+      }
+    }
+  }
+  const auto h = solve(a, rhs);
+  for (std::size_t i = 0; i < transient.size(); ++i) {
+    probs[transient[i]] = h[i];
+  }
+  return probs;
+}
+
+finite_chain absorbing_walk_chain(std::size_t span, double up, double down) {
+  PPG_CHECK(span >= 2, "need at least one transient state");
+  PPG_CHECK(up > 0.0 && down > 0.0 && up + down <= 1.0 + 1e-12,
+            "invalid walk probabilities");
+  finite_chain chain(span + 1);
+  chain.add_transition(0, 0, 1.0);
+  chain.add_transition(span, span, 1.0);
+  for (std::size_t i = 1; i < span; ++i) {
+    chain.add_transition(i, i + 1, up);
+    chain.add_transition(i, i - 1, down);
+    const double stay = 1.0 - up - down;
+    if (stay > 0.0) chain.add_transition(i, i, stay);
+  }
+  return chain;
+}
+
+finite_chain leader_count_chain(std::size_t n) {
+  PPG_CHECK(n >= 2, "leader election needs at least two agents");
+  finite_chain chain(n);  // state index l-1 for l leaders
+  const double pairs = static_cast<double>(n) * static_cast<double>(n - 1);
+  chain.add_transition(0, 0, 1.0);  // one leader: absorbed
+  for (std::size_t l = 2; l <= n; ++l) {
+    const double drop = static_cast<double>(l) *
+                        static_cast<double>(l - 1) / pairs;
+    chain.add_transition(l - 1, l - 2, drop);
+    chain.add_transition(l - 1, l - 1, 1.0 - drop);
+  }
+  return chain;
+}
+
+}  // namespace ppg

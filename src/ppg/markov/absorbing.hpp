@@ -1,0 +1,41 @@
+// Absorbing-chain analysis: exact expected absorption times and absorption
+// probabilities via the fundamental-matrix linear systems. Verifies the
+// gambler's-ruin closed forms used in the coupling proof (Proposition A.7)
+// and gives exact completion times for protocols with absorbing censuses
+// (e.g. leader election projected onto the leader count).
+#pragma once
+
+#include <vector>
+
+#include "ppg/markov/chain.hpp"
+
+namespace ppg {
+
+/// Expected number of steps to reach *any* absorbing state, from every
+/// state. `absorbing[i]` marks state i as absorbing (its outgoing
+/// transitions are ignored). All non-absorbing states must be able to reach
+/// an absorbing state (otherwise the linear system is singular and this
+/// throws). Solves (I - Q) t = 1 over the transient states.
+[[nodiscard]] std::vector<double> expected_absorption_times(
+    const finite_chain& chain, const std::vector<bool>& absorbing);
+
+/// Probability of being absorbed in a state of `target` (a subset of the
+/// absorbing states), from every state. Solves (I - Q) h = R * 1_target.
+[[nodiscard]] std::vector<double> absorption_probabilities(
+    const finite_chain& chain, const std::vector<bool>& absorbing,
+    const std::vector<bool>& target);
+
+/// Builds the lazy +-1 gambler's-ruin chain on {0, ..., span} with
+/// absorbing barriers (steps up with probability `up`, down with `down`);
+/// companion to reflecting_walk_chain.
+[[nodiscard]] finite_chain absorbing_walk_chain(std::size_t span, double up,
+                                                double down);
+
+/// Builds the leader-count projection of the basic leader election protocol
+/// with n agents: state l in {1, ..., n} is the number of leaders, and a
+/// step moves l -> l-1 with probability l(l-1)/(n(n-1)) (two leaders meet).
+/// State 1 is absorbing. State 0 is unreachable and excluded; the chain is
+/// indexed by l-1.
+[[nodiscard]] finite_chain leader_count_chain(std::size_t n);
+
+}  // namespace ppg

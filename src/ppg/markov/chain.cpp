@@ -1,0 +1,132 @@
+#include "ppg/markov/chain.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stack>
+
+#include "ppg/util/error.hpp"
+
+namespace ppg {
+
+finite_chain::finite_chain(std::size_t num_states) : rows_(num_states) {
+  PPG_CHECK(num_states > 0, "chain needs at least one state");
+}
+
+void finite_chain::add_transition(std::size_t from, std::size_t to,
+                                  double probability) {
+  PPG_CHECK(from < rows_.size() && to < rows_.size(),
+            "transition endpoint out of range");
+  PPG_CHECK(probability >= 0.0, "negative transition probability");
+  if (probability == 0.0) return;
+  for (auto& t : rows_[from]) {
+    if (t.target == to) {
+      t.probability += probability;
+      return;
+    }
+  }
+  rows_[from].push_back({to, probability});
+}
+
+const std::vector<transition>& finite_chain::row(std::size_t from) const {
+  PPG_CHECK(from < rows_.size(), "row index out of range");
+  return rows_[from];
+}
+
+double finite_chain::probability(std::size_t from, std::size_t to) const {
+  for (const auto& t : row(from)) {
+    if (t.target == to) return t.probability;
+  }
+  return 0.0;
+}
+
+bool finite_chain::is_stochastic(double tol) const {
+  for (const auto& row : rows_) {
+    double sum = 0.0;
+    for (const auto& t : row) {
+      if (t.probability < -tol) return false;
+      sum += t.probability;
+    }
+    if (std::abs(sum - 1.0) > tol) return false;
+  }
+  return true;
+}
+
+std::vector<double> finite_chain::step(const std::vector<double>& mu) const {
+  PPG_CHECK(mu.size() == rows_.size(), "distribution size mismatch");
+  std::vector<double> out(rows_.size(), 0.0);
+  for (std::size_t from = 0; from < rows_.size(); ++from) {
+    const double mass = mu[from];
+    if (mass == 0.0) continue;
+    for (const auto& t : rows_[from]) {
+      out[t.target] += mass * t.probability;
+    }
+  }
+  return out;
+}
+
+std::vector<double> finite_chain::evolve(std::vector<double> mu,
+                                         std::size_t t) const {
+  for (std::size_t i = 0; i < t; ++i) {
+    mu = step(mu);
+  }
+  return mu;
+}
+
+double finite_chain::detailed_balance_residual(
+    const std::vector<double>& pi) const {
+  PPG_CHECK(pi.size() == rows_.size(), "stationary size mismatch");
+  double worst = 0.0;
+  for (std::size_t x = 0; x < rows_.size(); ++x) {
+    for (const auto& t : rows_[x]) {
+      const double forward = pi[x] * t.probability;
+      const double backward = pi[t.target] * probability(t.target, x);
+      worst = std::max(worst, std::abs(forward - backward));
+    }
+  }
+  return worst;
+}
+
+bool finite_chain::is_irreducible() const {
+  // Two DFS passes: reachability from state 0 in the forward and the
+  // reversed graph. Irreducible iff all states are reachable both ways.
+  const std::size_t n = rows_.size();
+  auto reachable = [&](const auto& neighbors) {
+    std::vector<bool> seen(n, false);
+    std::stack<std::size_t> work;
+    work.push(0);
+    seen[0] = true;
+    std::size_t count = 1;
+    while (!work.empty()) {
+      const std::size_t u = work.top();
+      work.pop();
+      for (const std::size_t v : neighbors(u)) {
+        if (!seen[v]) {
+          seen[v] = true;
+          ++count;
+          work.push(v);
+        }
+      }
+    }
+    return count == n;
+  };
+
+  auto forward = [&](std::size_t u) {
+    std::vector<std::size_t> out;
+    for (const auto& t : rows_[u]) {
+      if (t.probability > 0.0) out.push_back(t.target);
+    }
+    return out;
+  };
+  if (!reachable(forward)) return false;
+
+  std::vector<std::vector<std::size_t>> reversed(n);
+  for (std::size_t u = 0; u < n; ++u) {
+    for (const auto& t : rows_[u]) {
+      if (t.probability > 0.0) reversed[t.target].push_back(u);
+    }
+  }
+  auto backward = [&](std::size_t u) { return reversed[u]; };
+  return reachable(backward);
+}
+
+}  // namespace ppg

@@ -1,0 +1,58 @@
+#include "ppg/markov/mixing.hpp"
+
+#include <algorithm>
+
+#include "ppg/stats/empirical.hpp"
+#include "ppg/util/error.hpp"
+
+namespace ppg {
+
+tv_curve tv_decay_curve(const finite_chain& chain, std::size_t start,
+                        const std::vector<double>& pi,
+                        const std::vector<std::size_t>& times) {
+  PPG_CHECK(start < chain.num_states(), "start state out of range");
+  PPG_CHECK(std::is_sorted(times.begin(), times.end()),
+            "sample times must be non-decreasing");
+  tv_curve curve;
+  curve.times = times;
+  curve.tv.reserve(times.size());
+  std::vector<double> mu(chain.num_states(), 0.0);
+  mu[start] = 1.0;
+  std::size_t now = 0;
+  for (const std::size_t t : times) {
+    while (now < t) {
+      mu = chain.step(mu);
+      ++now;
+    }
+    curve.tv.push_back(total_variation(mu, pi));
+  }
+  return curve;
+}
+
+std::size_t hitting_time_of_tv(const finite_chain& chain, std::size_t start,
+                               const std::vector<double>& pi, double eps,
+                               std::size_t max_steps) {
+  PPG_CHECK(start < chain.num_states(), "start state out of range");
+  std::vector<double> mu(chain.num_states(), 0.0);
+  mu[start] = 1.0;
+  if (total_variation(mu, pi) <= eps) return 0;
+  for (std::size_t t = 1; t <= max_steps; ++t) {
+    mu = chain.step(mu);
+    if (total_variation(mu, pi) <= eps) return t;
+  }
+  return max_steps + 1;
+}
+
+std::size_t mixing_time_from_starts(const finite_chain& chain,
+                                    const std::vector<std::size_t>& starts,
+                                    const std::vector<double>& pi, double eps,
+                                    std::size_t max_steps) {
+  PPG_CHECK(!starts.empty(), "need at least one start state");
+  std::size_t worst = 0;
+  for (const std::size_t s : starts) {
+    worst = std::max(worst, hitting_time_of_tv(chain, s, pi, eps, max_steps));
+  }
+  return worst;
+}
+
+}  // namespace ppg

@@ -1,0 +1,42 @@
+// Exact mixing-time measurement for finite chains: distance-to-stationarity
+// curves d(t) = ||P^t(x, .) - pi||_TV from chosen start states, and the
+// derived t_mix(eps) = min{t : d(t) <= eps} (Section 2.1 of the paper,
+// eps = 1/4 by convention).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ppg/markov/chain.hpp"
+
+namespace ppg {
+
+/// A sampled TV-decay curve: tv[i] is the distance after times[i] steps.
+struct tv_curve {
+  std::vector<std::size_t> times;
+  std::vector<double> tv;
+};
+
+/// Evolves a point mass at `start` and records TV distance to `pi` at each
+/// requested time (times must be non-decreasing).
+[[nodiscard]] tv_curve tv_decay_curve(const finite_chain& chain,
+                                      std::size_t start,
+                                      const std::vector<double>& pi,
+                                      const std::vector<std::size_t>& times);
+
+/// First time t <= max_steps with ||P^t(start, .) - pi||_TV <= eps, stepping
+/// one transition at a time. Returns max_steps + 1 if never reached.
+[[nodiscard]] std::size_t hitting_time_of_tv(const finite_chain& chain,
+                                             std::size_t start,
+                                             const std::vector<double>& pi,
+                                             double eps,
+                                             std::size_t max_steps);
+
+/// Mixing time from the worst start among `starts` (the paper's d(t)
+/// maximizes over all starts; for the monotone corner-to-corner structure of
+/// Ehrenfest chains the extreme corners dominate, and callers pass those).
+[[nodiscard]] std::size_t mixing_time_from_starts(
+    const finite_chain& chain, const std::vector<std::size_t>& starts,
+    const std::vector<double>& pi, double eps, std::size_t max_steps);
+
+}  // namespace ppg

@@ -1,0 +1,111 @@
+#include "ppg/markov/random_walk.hpp"
+
+#include <cmath>
+
+#include "ppg/stats/distributions.hpp"
+#include "ppg/util/error.hpp"
+
+namespace ppg {
+namespace {
+
+void check_params(walk_params params) {
+  PPG_CHECK(params.up > 0.0 && params.down > 0.0,
+            "walk needs positive up/down probabilities");
+  PPG_CHECK(params.up + params.down <= 1.0 + 1e-12,
+            "walk probabilities exceed 1");
+}
+
+}  // namespace
+
+double expected_absorption_time(walk_params params, std::int64_t span,
+                                std::int64_t start) {
+  check_params(params);
+  PPG_CHECK(span >= 1, "absorption span must be positive");
+  PPG_CHECK(start >= 0 && start <= span, "start outside the interval");
+  if (start == 0 || start == span) return 0.0;
+  const double a = params.up;
+  const double b = params.down;
+  const double move = a + b;  // probability of a non-lazy step
+  const auto z = static_cast<double>(start);
+  const auto n = static_cast<double>(span);
+  // Conditional on moving, the walk is a standard gambler's ruin with
+  // p = a/(a+b); the expected number of *moves* has the textbook closed
+  // form, and each move takes 1/(a+b) steps in expectation.
+  const double p = a / move;
+  const double q = b / move;
+  double moves = 0.0;
+  if (std::abs(a - b) < 1e-15) {
+    moves = z * (n - z);
+  } else {
+    const double r = q / p;
+    moves = z / (q - p) - (n / (q - p)) * (1.0 - std::pow(r, z)) /
+                              (1.0 - std::pow(r, n));
+  }
+  return moves / move;
+}
+
+double upper_absorption_probability(walk_params params, std::int64_t span,
+                                    std::int64_t start) {
+  check_params(params);
+  PPG_CHECK(span >= 1, "absorption span must be positive");
+  PPG_CHECK(start >= 0 && start <= span, "start outside the interval");
+  const double a = params.up;
+  const double b = params.down;
+  const auto z = static_cast<double>(start);
+  const auto n = static_cast<double>(span);
+  if (std::abs(a - b) < 1e-15) {
+    return z / n;
+  }
+  const double r = b / a;
+  return (1.0 - std::pow(r, z)) / (1.0 - std::pow(r, n));
+}
+
+std::uint64_t simulate_absorption_time(walk_params params, std::int64_t span,
+                                       std::int64_t start, rng& gen) {
+  check_params(params);
+  PPG_CHECK(span >= 1, "absorption span must be positive");
+  PPG_CHECK(start >= 0 && start <= span, "start outside the interval");
+  std::int64_t position = start;
+  std::uint64_t steps = 0;
+  while (position != 0 && position != span) {
+    const double u = gen.next_double();
+    if (u < params.up) {
+      ++position;
+    } else if (u < params.up + params.down) {
+      --position;
+    }
+    ++steps;
+  }
+  return steps;
+}
+
+finite_chain reflecting_walk_chain(std::size_t size, walk_params params) {
+  check_params(params);
+  PPG_CHECK(size >= 2, "reflecting walk needs at least two states");
+  finite_chain chain(size);
+  for (std::size_t j = 0; j < size; ++j) {
+    double stay = 1.0 - params.up - params.down;
+    if (j + 1 < size) {
+      chain.add_transition(j, j + 1, params.up);
+    } else {
+      stay += params.up;  // truncation: the attempted increment holds
+    }
+    if (j > 0) {
+      chain.add_transition(j, j - 1, params.down);
+    } else {
+      stay += params.down;
+    }
+    if (stay > 0.0) {
+      chain.add_transition(j, j, stay);
+    }
+  }
+  return chain;
+}
+
+std::vector<double> reflecting_walk_stationary(std::size_t size,
+                                               walk_params params) {
+  check_params(params);
+  return geometric_weights(size, params.up / params.down);
+}
+
+}  // namespace ppg

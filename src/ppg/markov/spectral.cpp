@@ -1,0 +1,112 @@
+#include "ppg/markov/spectral.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ppg/util/error.hpp"
+#include "ppg/util/rng.hpp"
+
+namespace ppg {
+
+spectral_result estimate_slem(const finite_chain& chain,
+                              const std::vector<double>& pi, double tol,
+                              std::size_t max_iterations,
+                              double reversibility_tol) {
+  const std::size_t n = chain.num_states();
+  PPG_CHECK(pi.size() == n, "stationary size mismatch");
+  PPG_CHECK(chain.detailed_balance_residual(pi) <= reversibility_tol,
+            "chain is not reversible w.r.t. pi");
+
+  // Top eigenvector of the symmetrized operator: v = sqrt(pi).
+  std::vector<double> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    PPG_CHECK(pi[i] >= 0.0, "negative stationary mass");
+    v[i] = std::sqrt(pi[i]);
+  }
+
+  // Apply S = D^{1/2} P D^{-1/2}: (Sx)_i = sum_j sqrt(pi_i) P(i,j)
+  // x_j / sqrt(pi_j). Iterate on x with the v-component deflated; the
+  // Rayleigh quotient then converges to the second eigenvalue in absolute
+  // value. (S is symmetric for reversible chains, so power iteration on the
+  // deflated operator is sound.)
+  auto apply_s = [&](const std::vector<double>& x) {
+    std::vector<double> out(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (v[i] == 0.0) continue;
+      double sum = 0.0;
+      for (const auto& t : chain.row(i)) {
+        if (v[t.target] == 0.0) continue;
+        sum += t.probability * x[t.target] / v[t.target];
+      }
+      out[i] = v[i] * sum;
+    }
+    return out;
+  };
+  auto deflate = [&](std::vector<double>& x) {
+    double proj = 0.0;
+    for (std::size_t i = 0; i < n; ++i) proj += x[i] * v[i];
+    for (std::size_t i = 0; i < n; ++i) x[i] -= proj * v[i];
+  };
+  auto norm = [&](const std::vector<double>& x) {
+    double sum = 0.0;
+    for (const double xi : x) sum += xi * xi;
+    return std::sqrt(sum);
+  };
+
+  // Deterministic pseudo-random start vector (decorrelated from v).
+  rng gen(0xe16e25eedull);
+  std::vector<double> x(n);
+  for (auto& xi : x) xi = gen.next_double() - 0.5;
+  deflate(x);
+  double x_norm = norm(x);
+  PPG_CHECK(x_norm > 0.0, "degenerate start vector");
+  for (auto& xi : x) xi /= x_norm;
+
+  spectral_result result;
+  double previous = 0.0;
+  for (std::size_t it = 0; it < max_iterations; ++it) {
+    auto next = apply_s(x);
+    deflate(next);  // re-deflate to control round-off drift
+    const double next_norm = norm(next);
+    result.iterations = it + 1;
+    if (next_norm == 0.0) {
+      // x was (numerically) orthogonal to all non-top eigenspace mass.
+      result.slem = 0.0;
+      result.converged = true;
+      break;
+    }
+    const double estimate = next_norm;  // |lambda_2| estimate (since |x|=1)
+    for (std::size_t i = 0; i < n; ++i) x[i] = next[i] / next_norm;
+    if (it > 8 && std::abs(estimate - previous) <= tol) {
+      result.slem = estimate;
+      result.converged = true;
+      break;
+    }
+    previous = estimate;
+    result.slem = estimate;
+  }
+  result.slem = std::min(result.slem, 1.0);
+  result.spectral_gap = 1.0 - result.slem;
+  PPG_CHECK(result.spectral_gap > 0.0,
+            "zero spectral gap: chain may be periodic or reducible");
+  result.relaxation_time = 1.0 / result.spectral_gap;
+  return result;
+}
+
+spectral_mixing_bounds mixing_bounds_from_relaxation(
+    const spectral_result& spectral, const std::vector<double>& pi,
+    double eps) {
+  PPG_CHECK(eps > 0.0 && eps < 1.0, "eps must lie in (0, 1)");
+  double pi_min = 1.0;
+  for (const double p : pi) {
+    if (p > 0.0) pi_min = std::min(pi_min, p);
+  }
+  spectral_mixing_bounds bounds;
+  bounds.lower = std::max(0.0, (spectral.relaxation_time - 1.0) *
+                                   std::log(1.0 / (2.0 * eps)));
+  bounds.upper =
+      spectral.relaxation_time * std::log(1.0 / (eps * pi_min));
+  return bounds;
+}
+
+}  // namespace ppg

@@ -1,0 +1,44 @@
+// Spectral analysis of reversible finite chains: the second-largest
+// eigenvalue modulus (SLEM) and the relaxation time t_rel = 1/(1 - SLEM),
+// which brackets the mixing time (Levin-Peres Theorems 12.4/12.5):
+//   (t_rel - 1) log(1/(2 eps))  <=  t_mix(eps)  <=  t_rel log(1/(eps pi_min)).
+// Used as an independent diagnostic of the Theorem 2.5 mixing bounds.
+#pragma once
+
+#include <vector>
+
+#include "ppg/markov/chain.hpp"
+
+namespace ppg {
+
+struct spectral_result {
+  double slem = 0.0;            ///< second-largest eigenvalue modulus
+  double spectral_gap = 0.0;    ///< 1 - slem
+  double relaxation_time = 0.0; ///< 1/(1 - slem)
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+/// Estimates the SLEM of a *reversible* chain with stationary distribution
+/// `pi` by power iteration on the symmetrized operator
+/// S = D^{1/2} P D^{-1/2} with the top eigenvector sqrt(pi) deflated.
+/// The chain must be reversible w.r.t. pi (detailed balance); this is
+/// checked up to `reversibility_tol`.
+[[nodiscard]] spectral_result estimate_slem(const finite_chain& chain,
+                                            const std::vector<double>& pi,
+                                            double tol = 1e-12,
+                                            std::size_t max_iterations =
+                                                500'000,
+                                            double reversibility_tol = 1e-8);
+
+/// Mixing-time bounds implied by the relaxation time at accuracy eps
+/// (defaults to the paper's 1/4).
+struct spectral_mixing_bounds {
+  double lower = 0.0;  ///< (t_rel - 1) log(1/(2 eps))
+  double upper = 0.0;  ///< t_rel log(1/(eps pi_min))
+};
+[[nodiscard]] spectral_mixing_bounds mixing_bounds_from_relaxation(
+    const spectral_result& spectral, const std::vector<double>& pi,
+    double eps = 0.25);
+
+}  // namespace ppg

@@ -1,0 +1,62 @@
+#include "ppg/markov/stationary.hpp"
+
+#include "ppg/linalg/lu.hpp"
+#include "ppg/linalg/matrix.hpp"
+#include "ppg/stats/empirical.hpp"
+#include "ppg/util/error.hpp"
+
+namespace ppg {
+
+stationary_result power_iteration_stationary(const finite_chain& chain,
+                                             double tol,
+                                             std::size_t max_iterations) {
+  const std::size_t n = chain.num_states();
+  stationary_result result;
+  result.distribution.assign(n, 1.0 / static_cast<double>(n));
+  for (std::size_t it = 0; it < max_iterations; ++it) {
+    auto next = chain.step(result.distribution);
+    result.residual = total_variation(next, result.distribution);
+    result.distribution = std::move(next);
+    result.iterations = it + 1;
+    if (result.residual <= tol) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+std::vector<double> solve_stationary(const finite_chain& chain) {
+  const std::size_t n = chain.num_states();
+  PPG_CHECK(n >= 1, "empty chain");
+  // Build A = P^T - I, then replace the last equation with sum(pi) = 1.
+  matrix a(n, n);
+  for (std::size_t from = 0; from < n; ++from) {
+    for (const auto& t : chain.row(from)) {
+      a(t.target, from) += t.probability;
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    a(i, i) -= 1.0;
+  }
+  std::vector<double> b(n, 0.0);
+  for (std::size_t c = 0; c < n; ++c) {
+    a(n - 1, c) = 1.0;
+  }
+  b[n - 1] = 1.0;
+  auto pi = solve(a, b);
+  // Clean tiny negative round-off and renormalize.
+  double total = 0.0;
+  for (auto& x : pi) {
+    if (x < 0.0 && x > -1e-9) x = 0.0;
+    PPG_CHECK(x >= 0.0, "negative stationary mass: chain not irreducible?");
+    total += x;
+  }
+  PPG_CHECK(total > 0.0, "zero stationary mass");
+  for (auto& x : pi) {
+    x /= total;
+  }
+  return pi;
+}
+
+}  // namespace ppg

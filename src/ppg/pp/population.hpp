@@ -1,0 +1,43 @@
+// Agent population: n anonymous agents each holding a small-integer state,
+// with per-state counts maintained incrementally for O(1) census queries.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ppg {
+
+using agent_state = std::uint32_t;
+
+class population {
+ public:
+  /// `states[i]` is agent i's initial state; all states must be below
+  /// `num_state_kinds`.
+  population(std::vector<agent_state> states, std::size_t num_state_kinds);
+
+  /// Homogeneous population: everyone starts in `state`.
+  population(std::size_t n, agent_state state, std::size_t num_state_kinds);
+
+  [[nodiscard]] std::size_t size() const { return states_.size(); }
+  [[nodiscard]] std::size_t num_state_kinds() const { return counts_.size(); }
+
+  [[nodiscard]] agent_state state_of(std::size_t agent) const;
+  void set_state(std::size_t agent, agent_state next);
+
+  /// Number of agents currently in `state`.
+  [[nodiscard]] std::uint64_t count(agent_state state) const;
+
+  /// Full census (indexed by state).
+  [[nodiscard]] const std::vector<std::uint64_t>& counts() const {
+    return counts_;
+  }
+
+  /// Census normalized by population size.
+  [[nodiscard]] std::vector<double> fractions() const;
+
+ private:
+  std::vector<agent_state> states_;
+  std::vector<std::uint64_t> counts_;
+};
+
+}  // namespace ppg

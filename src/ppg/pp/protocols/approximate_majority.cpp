@@ -1,0 +1,41 @@
+#include "ppg/pp/protocols/approximate_majority.hpp"
+
+namespace ppg {
+
+std::pair<agent_state, agent_state> approximate_majority_protocol::interact(
+    agent_state initiator, agent_state responder, rng& /*gen*/) const {
+  if (initiator == state_x && responder == state_y) {
+    return {state_x, state_blank};
+  }
+  if (initiator == state_y && responder == state_x) {
+    return {state_y, state_blank};
+  }
+  if (initiator == state_x && responder == state_blank) {
+    return {state_x, state_x};
+  }
+  if (initiator == state_y && responder == state_blank) {
+    return {state_y, state_y};
+  }
+  return {initiator, responder};
+}
+
+std::string approximate_majority_protocol::state_name(
+    agent_state state) const {
+  switch (state) {
+    case state_x:
+      return "X";
+    case state_y:
+      return "Y";
+    case state_blank:
+      return "B";
+    default:
+      return protocol::state_name(state);
+  }
+}
+
+bool approximate_majority_protocol::has_consensus(const population& agents) {
+  const auto n = static_cast<std::uint64_t>(agents.size());
+  return agents.count(state_x) == n || agents.count(state_y) == n;
+}
+
+}  // namespace ppg

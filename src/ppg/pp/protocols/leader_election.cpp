@@ -1,0 +1,21 @@
+#include "ppg/pp/protocols/leader_election.hpp"
+
+namespace ppg {
+
+std::pair<agent_state, agent_state> leader_election_protocol::interact(
+    agent_state initiator, agent_state responder, rng& /*gen*/) const {
+  if (initiator == state_leader && responder == state_leader) {
+    return {state_leader, state_follower};
+  }
+  return {initiator, responder};
+}
+
+std::string leader_election_protocol::state_name(agent_state state) const {
+  return state == state_leader ? "L" : "F";
+}
+
+bool leader_election_protocol::has_unique_leader(const population& agents) {
+  return agents.count(state_leader) == 1;
+}
+
+}  // namespace ppg

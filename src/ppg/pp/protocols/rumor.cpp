@@ -1,0 +1,22 @@
+#include "ppg/pp/protocols/rumor.hpp"
+
+namespace ppg {
+
+std::pair<agent_state, agent_state> rumor_protocol::interact(
+    agent_state initiator, agent_state responder, rng& /*gen*/) const {
+  if (initiator == state_informed) {
+    return {initiator, state_informed};
+  }
+  return {initiator, responder};
+}
+
+std::string rumor_protocol::state_name(agent_state state) const {
+  return state == state_informed ? "I" : "S";
+}
+
+bool rumor_protocol::all_informed(const population& agents) {
+  return agents.count(state_informed) ==
+         static_cast<std::uint64_t>(agents.size());
+}
+
+}  // namespace ppg

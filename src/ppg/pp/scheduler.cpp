@@ -1,0 +1,26 @@
+#include "ppg/pp/scheduler.hpp"
+
+#include "ppg/util/error.hpp"
+
+namespace ppg {
+
+interaction sample_distinct_pair(std::size_t n, rng& gen) {
+  PPG_CHECK(n >= 2, "distinct pair needs at least two agents");
+  interaction pair;
+  pair.initiator = static_cast<std::size_t>(gen.next_below(n));
+  // Sample the responder from the remaining n-1 agents without rejection.
+  std::size_t r = static_cast<std::size_t>(gen.next_below(n - 1));
+  if (r >= pair.initiator) ++r;
+  pair.responder = r;
+  return pair;
+}
+
+interaction sample_with_replacement_pair(std::size_t n, rng& gen) {
+  PPG_CHECK(n >= 1, "population must be non-empty");
+  interaction pair;
+  pair.initiator = static_cast<std::size_t>(gen.next_below(n));
+  pair.responder = static_cast<std::size_t>(gen.next_below(n));
+  return pair;
+}
+
+}  // namespace ppg

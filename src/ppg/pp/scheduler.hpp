@@ -1,0 +1,29 @@
+// Random scheduling of pairwise interactions. The standard population
+// protocol scheduler draws a uniformly random *ordered pair of distinct
+// agents* (initiator, responder) at every step; a with-replacement variant
+// matches the paper's idealized transition probabilities (5) exactly and is
+// provided for cross-checking the O(1/n) discrepancy (see DESIGN.md §4).
+#pragma once
+
+#include <cstddef>
+
+#include "ppg/util/rng.hpp"
+
+namespace ppg {
+
+/// One scheduled interaction.
+struct interaction {
+  std::size_t initiator = 0;
+  std::size_t responder = 0;
+};
+
+/// Uniform random ordered pair of *distinct* agents from {0, ..., n-1}.
+[[nodiscard]] interaction sample_distinct_pair(std::size_t n, rng& gen);
+
+/// Uniform random ordered pair sampled independently (initiator may equal
+/// responder); matches the mean-field probabilities used in the paper's
+/// analysis.
+[[nodiscard]] interaction sample_with_replacement_pair(std::size_t n,
+                                                       rng& gen);
+
+}  // namespace ppg

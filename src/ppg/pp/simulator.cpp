@@ -1,0 +1,74 @@
+#include "ppg/pp/simulator.hpp"
+
+#include "ppg/util/error.hpp"
+
+namespace ppg {
+
+std::string protocol::state_name(agent_state state) const {
+  return "s" + std::to_string(state);
+}
+
+simulation::simulation(const protocol& proto, population agents, rng gen,
+                       pair_sampling sampling)
+    : proto_(&proto),
+      agents_(std::move(agents)),
+      gen_(gen),
+      sampling_(sampling) {
+  PPG_CHECK(agents_.num_state_kinds() >= proto_->num_states(),
+            "population state space smaller than the protocol's");
+  PPG_CHECK(agents_.size() >= 2, "a protocol needs at least two agents");
+}
+
+void simulation::step() {
+  const interaction pair =
+      sampling_ == pair_sampling::distinct
+          ? sample_distinct_pair(agents_.size(), gen_)
+          : sample_with_replacement_pair(agents_.size(), gen_);
+  const auto [next_initiator, next_responder] =
+      proto_->interact(agents_.state_of(pair.initiator),
+                       agents_.state_of(pair.responder), gen_);
+  agents_.set_state(pair.initiator, next_initiator);
+  // Self-interactions can occur under with_replacement sampling; applying
+  // the responder update second would clobber the initiator's, so skip it.
+  if (pair.responder != pair.initiator) {
+    agents_.set_state(pair.responder, next_responder);
+  }
+  ++interactions_;
+}
+
+void simulation::run(std::uint64_t steps) {
+  for (std::uint64_t i = 0; i < steps; ++i) {
+    step();
+  }
+}
+
+std::uint64_t simulation::run_until(
+    const std::function<bool(const population&)>& converged,
+    std::uint64_t max_steps) {
+  std::uint64_t executed = 0;
+  while (executed < max_steps && !converged(agents_)) {
+    step();
+    ++executed;
+  }
+  return executed;
+}
+
+std::vector<census_snapshot> simulation::run_with_snapshots(
+    std::uint64_t steps, std::uint64_t snapshot_every) {
+  PPG_CHECK(snapshot_every > 0, "snapshot interval must be positive");
+  std::vector<census_snapshot> snapshots;
+  for (std::uint64_t i = 0; i < steps; ++i) {
+    step();
+    if ((i + 1) % snapshot_every == 0 || i + 1 == steps) {
+      snapshots.push_back({interactions_, agents_.counts()});
+    }
+  }
+  return snapshots;
+}
+
+double simulation::parallel_time() const {
+  return static_cast<double>(interactions_) /
+         static_cast<double>(agents_.size());
+}
+
+}  // namespace ppg

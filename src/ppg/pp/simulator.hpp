@@ -1,0 +1,87 @@
+// The population protocol simulator: repeatedly schedules a random ordered
+// pair and applies a protocol's transition function. Supports convergence
+// predicates, periodic census snapshots, and both pair-sampling disciplines.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ppg/pp/population.hpp"
+#include "ppg/pp/scheduler.hpp"
+#include "ppg/util/rng.hpp"
+
+namespace ppg {
+
+/// A population protocol: a transition function over pairs of states.
+/// Protocols may be randomized (they receive the simulation's generator).
+/// One-way protocols simply return the responder's state unchanged.
+class protocol {
+ public:
+  virtual ~protocol() = default;
+  protocol() = default;
+  protocol(const protocol&) = default;
+  protocol& operator=(const protocol&) = default;
+
+  /// Size of the local state space.
+  [[nodiscard]] virtual std::size_t num_states() const = 0;
+
+  /// New (initiator, responder) states after an interaction.
+  [[nodiscard]] virtual std::pair<agent_state, agent_state> interact(
+      agent_state initiator, agent_state responder, rng& gen) const = 0;
+
+  /// Human-readable state name (for traces and examples).
+  [[nodiscard]] virtual std::string state_name(agent_state state) const;
+};
+
+/// How the scheduler draws the interacting pair.
+enum class pair_sampling : std::uint8_t {
+  distinct,          ///< ordered pair of distinct agents (standard PP model)
+  with_replacement,  ///< independent draws (paper's idealized probabilities)
+};
+
+/// One census snapshot taken during a run.
+struct census_snapshot {
+  std::uint64_t interactions = 0;
+  std::vector<std::uint64_t> counts;
+};
+
+class simulation {
+ public:
+  simulation(const protocol& proto, population agents, rng gen,
+             pair_sampling sampling = pair_sampling::distinct);
+
+  /// Executes one interaction.
+  void step();
+
+  /// Executes `steps` interactions.
+  void run(std::uint64_t steps);
+
+  /// Runs until `converged(population)` is true or `max_steps` is reached;
+  /// returns the number of interactions executed in this call.
+  std::uint64_t run_until(
+      const std::function<bool(const population&)>& converged,
+      std::uint64_t max_steps);
+
+  /// Runs `steps` interactions, recording a census every `snapshot_every`
+  /// interactions (including one at the end).
+  [[nodiscard]] std::vector<census_snapshot> run_with_snapshots(
+      std::uint64_t steps, std::uint64_t snapshot_every);
+
+  [[nodiscard]] const population& agents() const { return agents_; }
+  [[nodiscard]] std::uint64_t interactions() const { return interactions_; }
+
+  /// Parallel time: interactions / n (standard PP normalization).
+  [[nodiscard]] double parallel_time() const;
+
+ private:
+  const protocol* proto_;
+  population agents_;
+  rng gen_;
+  pair_sampling sampling_;
+  std::uint64_t interactions_ = 0;
+};
+
+}  // namespace ppg

@@ -1,0 +1,50 @@
+#include "ppg/pp/trace.hpp"
+
+#include <ostream>
+
+#include "ppg/util/error.hpp"
+
+namespace ppg {
+
+census_recorder::census_recorder(std::vector<std::string> column_names)
+    : column_names_(std::move(column_names)) {
+  PPG_CHECK(!column_names_.empty(), "need at least one census column");
+  for (const auto& name : column_names_) {
+    PPG_CHECK(name.find(',') == std::string::npos,
+              "column names must be CSV-safe");
+  }
+}
+
+void census_recorder::record(const simulation& sim) {
+  record(sim.interactions(), sim.agents().size(), sim.agents().counts());
+}
+
+void census_recorder::record(std::uint64_t interactions, std::size_t n,
+                             const std::vector<std::uint64_t>& counts) {
+  PPG_CHECK(counts.size() == column_names_.size(),
+            "census width must match the column names");
+  PPG_CHECK(n > 0, "population size must be positive");
+  row r;
+  r.interactions = interactions;
+  r.parallel_time =
+      static_cast<double>(interactions) / static_cast<double>(n);
+  r.counts = counts;
+  rows_.push_back(std::move(r));
+}
+
+void census_recorder::write_csv(std::ostream& out) const {
+  out << "interactions,parallel_time";
+  for (const auto& name : column_names_) {
+    out << ',' << name;
+  }
+  out << '\n';
+  for (const auto& r : rows_) {
+    out << r.interactions << ',' << r.parallel_time;
+    for (const auto c : r.counts) {
+      out << ',' << c;
+    }
+    out << '\n';
+  }
+}
+
+}  // namespace ppg

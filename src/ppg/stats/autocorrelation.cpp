@@ -1,0 +1,48 @@
+#include "ppg/stats/autocorrelation.hpp"
+
+#include <algorithm>
+
+#include "ppg/util/error.hpp"
+
+namespace ppg {
+
+double autocorrelation(const std::vector<double>& series, std::size_t lag) {
+  const std::size_t n = series.size();
+  PPG_CHECK(n >= 2, "need at least two observations");
+  PPG_CHECK(lag < n, "lag exceeds series length");
+  double mean = 0.0;
+  for (const double x : series) mean += x;
+  mean /= static_cast<double>(n);
+  double variance = 0.0;
+  for (const double x : series) {
+    variance += (x - mean) * (x - mean);
+  }
+  if (variance == 0.0) return lag == 0 ? 1.0 : 0.0;  // constant series
+  double covariance = 0.0;
+  for (std::size_t i = 0; i + lag < n; ++i) {
+    covariance += (series[i] - mean) * (series[i + lag] - mean);
+  }
+  return covariance / variance;
+}
+
+double integrated_autocorrelation_time(const std::vector<double>& series,
+                                       std::size_t max_lag, double cutoff) {
+  PPG_CHECK(series.size() >= 4, "series too short for IAT");
+  const std::size_t limit =
+      std::min(max_lag, series.size() / 2);
+  double tau = 1.0;
+  for (std::size_t lag = 1; lag <= limit; ++lag) {
+    const double rho = autocorrelation(series, lag);
+    if (rho < cutoff) break;
+    tau += 2.0 * rho;
+  }
+  return tau;
+}
+
+double effective_sample_size(const std::vector<double>& series,
+                             std::size_t max_lag) {
+  return static_cast<double>(series.size()) /
+         integrated_autocorrelation_time(series, max_lag);
+}
+
+}  // namespace ppg

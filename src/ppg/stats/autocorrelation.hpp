@@ -1,0 +1,29 @@
+// Autocorrelation diagnostics for simulation time series: the integrated
+// autocorrelation time (IAT) and effective sample size. Census samples from
+// a single chain trajectory are correlated; the benches use the IAT to
+// choose decorrelation gaps and to report honest error bars.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ppg {
+
+/// Sample autocorrelation of `series` at the given lag (biased normalization
+/// by the series length, the standard spectral convention).
+[[nodiscard]] double autocorrelation(const std::vector<double>& series,
+                                     std::size_t lag);
+
+/// Integrated autocorrelation time with Geyer-style adaptive windowing:
+///   tau = 1 + 2 sum_{l=1}^{L} rho(l),
+/// where the sum stops at the first lag whose autocorrelation drops below
+/// `cutoff` (default 0.05) or at max_lag. For i.i.d. data tau ~ 1.
+[[nodiscard]] double integrated_autocorrelation_time(
+    const std::vector<double>& series, std::size_t max_lag = 10'000,
+    double cutoff = 0.05);
+
+/// Effective number of independent samples: n / tau.
+[[nodiscard]] double effective_sample_size(const std::vector<double>& series,
+                                           std::size_t max_lag = 10'000);
+
+}  // namespace ppg

@@ -1,0 +1,127 @@
+#include "ppg/stats/chi_square.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "ppg/util/error.hpp"
+
+namespace ppg {
+namespace {
+
+// Series representation of P(a, x); converges quickly for x < a + 1.
+double gamma_p_series(double a, double x) {
+  double term = 1.0 / a;
+  double sum = term;
+  double ap = a;
+  for (int i = 0; i < 1000; ++i) {
+    ap += 1.0;
+    term *= x / ap;
+    sum += term;
+    if (std::abs(term) < std::abs(sum) * 1e-15) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+// Continued-fraction representation of Q(a, x) = 1 - P(a, x) (Lentz's
+// algorithm); converges quickly for x >= a + 1.
+double gamma_q_continued_fraction(double a, double x) {
+  constexpr double tiny = 1e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / tiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= 1000; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::abs(d) < tiny) d = tiny;
+    c = b + an / c;
+    if (std::abs(c) < tiny) c = tiny;
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::abs(delta - 1.0) < 1e-15) break;
+  }
+  return h * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+}  // namespace
+
+double regularized_gamma_p(double a, double x) {
+  PPG_CHECK(a > 0.0, "regularized_gamma_p requires a > 0");
+  PPG_CHECK(x >= 0.0, "regularized_gamma_p requires x >= 0");
+  if (x == 0.0) return 0.0;
+  if (x < a + 1.0) {
+    return gamma_p_series(a, x);
+  }
+  return 1.0 - gamma_q_continued_fraction(a, x);
+}
+
+double chi_square_tail(double statistic, double dof) {
+  PPG_CHECK(dof > 0.0, "chi_square_tail requires positive dof");
+  if (statistic <= 0.0) return 1.0;
+  return 1.0 - regularized_gamma_p(dof / 2.0, statistic / 2.0);
+}
+
+gof_result chi_square_gof(const std::vector<std::uint64_t>& observed,
+                          const std::vector<double>& expected_probs,
+                          double min_expected,
+                          std::size_t extra_constraints) {
+  PPG_CHECK(observed.size() == expected_probs.size(),
+            "observed/expected size mismatch");
+  PPG_CHECK(observed.size() >= 2, "need at least two cells");
+  std::uint64_t n = 0;
+  for (const auto count : observed) n += count;
+  PPG_CHECK(n > 0, "chi-square test on empty sample");
+
+  // Merge adjacent sparse cells (expected count below threshold) left to
+  // right; natural for our ordered supports (generosity levels, urn loads).
+  std::vector<double> merged_observed;
+  std::vector<double> merged_expected;
+  double acc_obs = 0.0;
+  double acc_exp = 0.0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    acc_obs += static_cast<double>(observed[i]);
+    acc_exp += expected_probs[i] * static_cast<double>(n);
+    if (acc_exp >= min_expected) {
+      merged_observed.push_back(acc_obs);
+      merged_expected.push_back(acc_exp);
+      acc_obs = 0.0;
+      acc_exp = 0.0;
+    }
+  }
+  if (acc_exp > 0.0 || acc_obs > 0.0) {
+    if (merged_expected.empty()) {
+      merged_observed.push_back(acc_obs);
+      merged_expected.push_back(acc_exp);
+    } else {
+      merged_observed.back() += acc_obs;
+      merged_expected.back() += acc_exp;
+    }
+  }
+
+  gof_result result;
+  result.merged_buckets = merged_expected.size();
+  if (merged_expected.size() < 2) {
+    // Everything collapsed into one cell: the test is vacuous, report a
+    // non-rejection.
+    result.dof = 1.0;
+    result.p_value = 1.0;
+    return result;
+  }
+  for (std::size_t i = 0; i < merged_expected.size(); ++i) {
+    const double diff = merged_observed[i] - merged_expected[i];
+    if (merged_expected[i] > 0.0) {
+      result.statistic += diff * diff / merged_expected[i];
+    } else if (merged_observed[i] > 0.0) {
+      result.statistic = std::numeric_limits<double>::infinity();
+    }
+  }
+  result.dof = static_cast<double>(merged_expected.size() - 1 -
+                                   extra_constraints);
+  PPG_CHECK(result.dof > 0.0, "non-positive degrees of freedom");
+  result.p_value = chi_square_tail(result.statistic, result.dof);
+  return result;
+}
+
+}  // namespace ppg

@@ -1,0 +1,38 @@
+// Chi-square goodness-of-fit testing for validating simulated stationary
+// distributions against the paper's closed-form multinomials.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ppg {
+
+/// Result of a goodness-of-fit test.
+struct gof_result {
+  double statistic = 0.0;   ///< chi-square statistic
+  double dof = 0.0;         ///< degrees of freedom after bucket merging
+  double p_value = 1.0;     ///< upper-tail probability under H0
+  std::size_t merged_buckets = 0;  ///< buckets after merging sparse cells
+};
+
+/// Regularized lower incomplete gamma function P(a, x), computed by series
+/// expansion (x < a + 1) or continued fraction (otherwise). Accurate to
+/// ~1e-12 for the a, x ranges used by the tests.
+[[nodiscard]] double regularized_gamma_p(double a, double x);
+
+/// Upper-tail probability of a chi-square distribution with `dof` degrees of
+/// freedom at `statistic`.
+[[nodiscard]] double chi_square_tail(double statistic, double dof);
+
+/// Pearson chi-square goodness-of-fit of observed counts against expected
+/// probabilities. Cells whose expected count is below `min_expected` are
+/// merged into their neighbor to keep the chi-square approximation valid.
+/// `extra_constraints` reduces the degrees of freedom further when the
+/// expected distribution was itself fit from the data (0 here: the paper's
+/// distributions are fully specified a priori).
+[[nodiscard]] gof_result chi_square_gof(
+    const std::vector<std::uint64_t>& observed,
+    const std::vector<double>& expected_probs, double min_expected = 5.0,
+    std::size_t extra_constraints = 0);
+
+}  // namespace ppg

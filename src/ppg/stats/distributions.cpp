@@ -1,0 +1,136 @@
+#include "ppg/stats/distributions.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "ppg/util/error.hpp"
+
+namespace ppg {
+
+double log_binomial_coefficient(std::uint64_t n, std::uint64_t k) {
+  PPG_CHECK(k <= n, "binomial coefficient requires k <= n");
+  return std::lgamma(static_cast<double>(n) + 1.0) -
+         std::lgamma(static_cast<double>(k) + 1.0) -
+         std::lgamma(static_cast<double>(n - k) + 1.0);
+}
+
+double log_multinomial_coefficient(std::uint64_t m,
+                                   const std::vector<std::uint64_t>& x) {
+  std::uint64_t sum = 0;
+  double log_coeff = std::lgamma(static_cast<double>(m) + 1.0);
+  for (const auto xi : x) {
+    sum += xi;
+    log_coeff -= std::lgamma(static_cast<double>(xi) + 1.0);
+  }
+  PPG_CHECK(sum == m, "multinomial counts must sum to m");
+  return log_coeff;
+}
+
+double binomial_pmf(std::uint64_t n, double p, std::uint64_t k) {
+  PPG_CHECK(p >= 0.0 && p <= 1.0, "binomial_pmf requires p in [0, 1]");
+  if (k > n) return 0.0;
+  if (p == 0.0) return k == 0 ? 1.0 : 0.0;
+  if (p == 1.0) return k == n ? 1.0 : 0.0;
+  const double log_pmf = log_binomial_coefficient(n, k) +
+                         static_cast<double>(k) * std::log(p) +
+                         static_cast<double>(n - k) * std::log1p(-p);
+  return std::exp(log_pmf);
+}
+
+double multinomial_pmf(std::uint64_t m, const std::vector<double>& probs,
+                       const std::vector<std::uint64_t>& x) {
+  PPG_CHECK(probs.size() == x.size(), "probs/counts size mismatch");
+  double log_pmf = log_multinomial_coefficient(m, x);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (x[i] == 0) continue;
+    if (probs[i] <= 0.0) return 0.0;
+    log_pmf += static_cast<double>(x[i]) * std::log(probs[i]);
+  }
+  return std::exp(log_pmf);
+}
+
+std::vector<double> multinomial_mean(std::uint64_t m,
+                                     const std::vector<double>& probs) {
+  std::vector<double> mean(probs.size());
+  for (std::size_t i = 0; i < probs.size(); ++i) {
+    mean[i] = static_cast<double>(m) * probs[i];
+  }
+  return mean;
+}
+
+std::uint64_t sample_binomial(std::uint64_t n, double p, rng& gen) {
+  PPG_CHECK(p >= 0.0 && p <= 1.0, "sample_binomial requires p in [0, 1]");
+  if (p == 0.0 || n == 0) return 0;
+  if (p == 1.0) return n;
+  // Work with q = min(p, 1-p) and count by geometric skips: the number of
+  // Bernoulli(q) trials between successes is geometric, so the expected work
+  // is O(n*q + 1) rather than O(n).
+  const bool flipped = p > 0.5;
+  const double q = flipped ? 1.0 - p : p;
+  std::uint64_t successes = 0;
+  std::uint64_t position = 0;
+  while (true) {
+    position += gen.next_geometric(q) + 1;
+    if (position > n) break;
+    ++successes;
+  }
+  return flipped ? n - successes : successes;
+}
+
+std::vector<std::uint64_t> sample_multinomial(std::uint64_t m,
+                                              const std::vector<double>& probs,
+                                              rng& gen) {
+  PPG_CHECK(!probs.empty(), "sample_multinomial needs a non-empty support");
+  std::vector<std::uint64_t> counts(probs.size(), 0);
+  double remaining_prob = 1.0;
+  std::uint64_t remaining = m;
+  for (std::size_t i = 0; i + 1 < probs.size() && remaining > 0; ++i) {
+    const double conditional =
+        remaining_prob <= 0.0 ? 0.0 : probs[i] / remaining_prob;
+    const std::uint64_t draw =
+        sample_binomial(remaining, std::min(1.0, std::max(0.0, conditional)),
+                        gen);
+    counts[i] = draw;
+    remaining -= draw;
+    remaining_prob -= probs[i];
+  }
+  counts.back() += remaining;
+  return counts;
+}
+
+std::size_t sample_categorical(const std::vector<double>& probs, rng& gen) {
+  PPG_CHECK(!probs.empty(), "sample_categorical needs a non-empty support");
+  double total = 0.0;
+  for (const double p : probs) {
+    PPG_CHECK(p >= 0.0, "categorical weights must be non-negative");
+    total += p;
+  }
+  PPG_CHECK(total > 0.0, "categorical weights must have positive sum");
+  double u = gen.next_double() * total;
+  for (std::size_t i = 0; i < probs.size(); ++i) {
+    u -= probs[i];
+    if (u < 0.0) return i;
+  }
+  return probs.size() - 1;  // guard against accumulated rounding
+}
+
+std::vector<double> geometric_weights(std::size_t k, double lambda) {
+  PPG_CHECK(k >= 1, "geometric_weights needs k >= 1");
+  PPG_CHECK(lambda > 0.0, "geometric_weights needs lambda > 0");
+  std::vector<double> weights(k);
+  // Normalize against the largest power to avoid overflow for large k or
+  // extreme lambda.
+  double log_lambda = std::log(lambda);
+  double max_log = std::max(0.0, static_cast<double>(k - 1) * log_lambda);
+  double total = 0.0;
+  for (std::size_t j = 0; j < k; ++j) {
+    weights[j] = std::exp(static_cast<double>(j) * log_lambda - max_log);
+    total += weights[j];
+  }
+  for (auto& w : weights) {
+    w /= total;
+  }
+  return weights;
+}
+
+}  // namespace ppg

@@ -1,0 +1,54 @@
+// Closed-form discrete distributions used throughout the paper: binomial and
+// multinomial PMFs (Theorem 2.4's stationary laws), plus samplers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ppg/util/rng.hpp"
+
+namespace ppg {
+
+/// log of the binomial coefficient C(n, k).
+[[nodiscard]] double log_binomial_coefficient(std::uint64_t n,
+                                              std::uint64_t k);
+
+/// log of the multinomial coefficient m! / (x_1! ... x_k!); the x_i must sum
+/// to m (checked).
+[[nodiscard]] double log_multinomial_coefficient(
+    std::uint64_t m, const std::vector<std::uint64_t>& x);
+
+/// Binomial(n, p) PMF at k.
+[[nodiscard]] double binomial_pmf(std::uint64_t n, double p, std::uint64_t k);
+
+/// Multinomial(m, probs) PMF at the count vector x (x must sum to m).
+[[nodiscard]] double multinomial_pmf(std::uint64_t m,
+                                     const std::vector<double>& probs,
+                                     const std::vector<std::uint64_t>& x);
+
+/// Mean vector of Multinomial(m, probs): m * probs.
+[[nodiscard]] std::vector<double> multinomial_mean(
+    std::uint64_t m, const std::vector<double>& probs);
+
+/// Draws a sample count vector from Multinomial(m, probs) by sequential
+/// conditional binomials.
+[[nodiscard]] std::vector<std::uint64_t> sample_multinomial(
+    std::uint64_t m, const std::vector<double>& probs, rng& gen);
+
+/// Draws from Binomial(n, p) (inversion for small n*p, otherwise sum of
+/// Bernoullis; n in our use cases is at most a few thousand).
+[[nodiscard]] std::uint64_t sample_binomial(std::uint64_t n, double p,
+                                            rng& gen);
+
+/// Draws an index from a finite categorical distribution (probs need not be
+/// normalized; they must be non-negative with a positive sum).
+[[nodiscard]] std::size_t sample_categorical(const std::vector<double>& probs,
+                                             rng& gen);
+
+/// The geometric-weight distribution p_j ∝ lambda^{j-1} on {1, ..., k}
+/// (0-indexed vector of length k). This is the per-coordinate marginal of the
+/// paper's stationary multinomials (Theorems 2.4 and 2.7).
+[[nodiscard]] std::vector<double> geometric_weights(std::size_t k,
+                                                    double lambda);
+
+}  // namespace ppg

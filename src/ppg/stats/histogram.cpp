@@ -1,0 +1,57 @@
+#include "ppg/stats/histogram.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "ppg/util/error.hpp"
+
+namespace ppg {
+
+histogram::histogram(std::size_t size) : counts_(size, 0) {
+  PPG_CHECK(size > 0, "histogram needs at least one bucket");
+}
+
+void histogram::add(std::size_t index, std::uint64_t weight) {
+  PPG_CHECK(index < counts_.size(), "histogram index out of range");
+  counts_[index] += weight;
+  total_ += weight;
+}
+
+std::uint64_t histogram::count(std::size_t index) const {
+  PPG_CHECK(index < counts_.size(), "histogram index out of range");
+  return counts_[index];
+}
+
+std::vector<double> histogram::normalized() const {
+  PPG_CHECK(total_ > 0, "normalizing an empty histogram");
+  std::vector<double> probs(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    probs[i] =
+        static_cast<double>(counts_[i]) / static_cast<double>(total_);
+  }
+  return probs;
+}
+
+std::string histogram::ascii_bars(std::size_t width) const {
+  const std::uint64_t peak =
+      *std::max_element(counts_.begin(), counts_.end());
+  std::ostringstream out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const std::size_t bar =
+        peak == 0 ? 0
+                  : static_cast<std::size_t>(
+                        static_cast<double>(counts_[i]) /
+                        static_cast<double>(peak) *
+                        static_cast<double>(width));
+    out << '[' << i << "] " << std::string(bar, '#') << ' ' << counts_[i]
+        << '\n';
+  }
+  return out.str();
+}
+
+void histogram::clear() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  total_ = 0;
+}
+
+}  // namespace ppg

@@ -1,0 +1,36 @@
+// Integer-bucketed histogram over a fixed index range, used to accumulate
+// occupation counts of discrete chain states (e.g. generosity levels).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ppg {
+
+/// Counts occurrences of integer categories in [0, size).
+class histogram {
+ public:
+  explicit histogram(std::size_t size);
+
+  void add(std::size_t index, std::uint64_t weight = 1);
+
+  [[nodiscard]] std::size_t size() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t count(std::size_t index) const;
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+
+  /// Empirical probability of each category; total() must be positive.
+  [[nodiscard]] std::vector<double> normalized() const;
+
+  /// Renders a compact ASCII bar chart (for examples); `width` is the length
+  /// of the longest bar.
+  [[nodiscard]] std::string ascii_bars(std::size_t width = 40) const;
+
+  void clear();
+
+ private:
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace ppg

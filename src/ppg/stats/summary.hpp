@@ -1,0 +1,39 @@
+// Streaming summary statistics (Welford) and simple confidence intervals.
+#pragma once
+
+#include <cstddef>
+
+namespace ppg {
+
+/// Online mean/variance accumulator using Welford's algorithm; numerically
+/// stable for long simulation streams.
+class running_summary {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double mean() const;
+  /// Unbiased sample variance; requires at least two observations.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  /// Standard error of the mean.
+  [[nodiscard]] double std_error() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+
+  /// Half-width of a normal-approximation confidence interval at the given
+  /// z-score (default 1.96 ~ 95%).
+  [[nodiscard]] double ci_half_width(double z = 1.96) const;
+
+  /// Merges another summary into this one (parallel reduction support).
+  void merge(const running_summary& other);
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace ppg

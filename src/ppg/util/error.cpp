@@ -1,0 +1,15 @@
+#include "ppg/util/error.hpp"
+
+#include <sstream>
+
+namespace ppg::detail {
+
+void throw_invariant(const char* expr, const char* file, int line,
+                     const std::string& message) {
+  std::ostringstream out;
+  out << "invariant violated: " << message << " [" << expr << " at " << file
+      << ":" << line << "]";
+  throw invariant_error(out.str());
+}
+
+}  // namespace ppg::detail

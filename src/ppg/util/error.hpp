@@ -1,0 +1,34 @@
+// Error handling primitives for the ppg library.
+//
+// The library is used both from tests (where throwing is convenient) and from
+// long-running simulations (where a precise message matters). All invariant
+// violations throw ppg::invariant_error with file/line context.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ppg {
+
+/// Exception thrown when a library invariant or precondition is violated.
+class invariant_error : public std::logic_error {
+ public:
+  explicit invariant_error(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_invariant(const char* expr, const char* file, int line,
+                                  const std::string& message);
+}  // namespace detail
+
+}  // namespace ppg
+
+/// Checks a precondition/invariant; throws ppg::invariant_error on failure.
+/// Unlike assert(), this is active in all build types: simulation correctness
+/// must not depend on the build configuration.
+#define PPG_CHECK(expr, message)                                            \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::ppg::detail::throw_invariant(#expr, __FILE__, __LINE__, (message)); \
+    }                                                                       \
+  } while (false)

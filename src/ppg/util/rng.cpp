@@ -1,0 +1,96 @@
+#include "ppg/util/rng.hpp"
+
+#include <cmath>
+
+namespace ppg {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+rng::rng(std::uint64_t seed) {
+  // splitmix64 guarantees the state is not all-zero (a fixed point of
+  // xoshiro) for any seed, since its outputs are a bijection of the counter.
+  for (auto& word : state_) {
+    word = splitmix64(seed);
+  }
+  if (state_[0] == 0 && state_[1] == 0 && state_[2] == 0 && state_[3] == 0) {
+    state_[0] = 1;  // unreachable in practice; defensive against UB in rotl
+  }
+}
+
+rng::result_type rng::operator()() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t rng::next_below(std::uint64_t bound) {
+  PPG_CHECK(bound >= 1, "next_below requires a positive bound");
+  // Lemire's method: multiply-shift with rejection of the biased low range.
+  std::uint64_t x = (*this)();
+  unsigned __int128 m = static_cast<unsigned __int128>(x) * bound;
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (low < threshold) {
+      x = (*this)();
+      m = static_cast<unsigned __int128>(x) * bound;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t rng::next_in(std::int64_t lo, std::int64_t hi) {
+  PPG_CHECK(lo <= hi, "next_in requires lo <= hi");
+  const auto span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  // span == 0 means the full 64-bit range [INT64_MIN, INT64_MAX].
+  if (span == 0) {
+    return static_cast<std::int64_t>((*this)());
+  }
+  return lo + static_cast<std::int64_t>(next_below(span));
+}
+
+double rng::next_double() {
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+bool rng::next_bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return next_double() < p;
+}
+
+std::uint64_t rng::next_geometric(double p) {
+  PPG_CHECK(p > 0.0 && p <= 1.0, "next_geometric requires p in (0, 1]");
+  if (p == 1.0) return 0;
+  // Inversion: floor(log(U) / log(1-p)) for U uniform on (0, 1).
+  double u = next_double();
+  while (u <= 0.0) u = next_double();
+  return static_cast<std::uint64_t>(std::floor(std::log(u) / std::log1p(-p)));
+}
+
+rng rng::split() {
+  return rng((*this)());
+}
+
+}  // namespace ppg

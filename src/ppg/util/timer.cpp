@@ -1,0 +1,5 @@
+#include "ppg/util/timer.hpp"
+
+// timer is header-only; this translation unit anchors the target so every
+// header in util/ has a corresponding compiled unit (keeps include hygiene
+// checked by the build).

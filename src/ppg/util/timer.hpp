@@ -1,0 +1,25 @@
+// Wall-clock timing helper for the bench harness.
+#pragma once
+
+#include <chrono>
+
+namespace ppg {
+
+/// Simple monotonic stopwatch. Started on construction.
+class timer {
+ public:
+  timer() : start_(clock::now()) {}
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  void reset() { start_ = clock::now(); }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace ppg

@@ -1,0 +1,91 @@
+// Tests for the autocorrelation diagnostics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ppg/core/igt_count_chain.hpp"
+#include "ppg/stats/autocorrelation.hpp"
+#include "ppg/util/error.hpp"
+#include "ppg/util/rng.hpp"
+
+namespace ppg {
+namespace {
+
+TEST(Autocorrelation, LagZeroIsOne) {
+  const std::vector<double> series = {1.0, 2.0, 0.5, 3.0, 1.5};
+  EXPECT_DOUBLE_EQ(autocorrelation(series, 0), 1.0);
+}
+
+TEST(Autocorrelation, IidSeriesDecorrelates) {
+  rng gen(61);
+  std::vector<double> series(20000);
+  for (auto& x : series) x = gen.next_double();
+  EXPECT_NEAR(autocorrelation(series, 1), 0.0, 0.03);
+  EXPECT_NEAR(autocorrelation(series, 5), 0.0, 0.03);
+  EXPECT_NEAR(integrated_autocorrelation_time(series), 1.0, 0.15);
+  EXPECT_GT(effective_sample_size(series), 0.8 * 20000);
+}
+
+TEST(Autocorrelation, Ar1SeriesHasKnownTau) {
+  // AR(1) with coefficient phi: rho(l) = phi^l and
+  // tau = 1 + 2 phi/(1 - phi) = (1 + phi)/(1 - phi).
+  rng gen(62);
+  const double phi = 0.8;
+  std::vector<double> series(400000);
+  double x = 0.0;
+  for (auto& out : series) {
+    x = phi * x + (gen.next_double() - 0.5);
+    out = x;
+  }
+  const double tau = integrated_autocorrelation_time(series, 2000, 0.001);
+  EXPECT_NEAR(tau, (1.0 + phi) / (1.0 - phi), 1.0);
+}
+
+TEST(Autocorrelation, ConstantSeriesIsHandled) {
+  const std::vector<double> series(100, 3.0);
+  EXPECT_DOUBLE_EQ(autocorrelation(series, 3), 0.0);
+  EXPECT_DOUBLE_EQ(integrated_autocorrelation_time(series), 1.0);
+}
+
+TEST(Autocorrelation, AlternatingSeriesIsNegativelyCorrelated) {
+  std::vector<double> series(1000);
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    series[i] = (i % 2 == 0) ? 1.0 : -1.0;
+  }
+  EXPECT_NEAR(autocorrelation(series, 1), -1.0, 0.01);
+  // Negative rho(1) stops the adaptive window immediately: tau ~ 1.
+  EXPECT_NEAR(integrated_autocorrelation_time(series), 1.0, 0.01);
+}
+
+TEST(Autocorrelation, InputValidation) {
+  const std::vector<double> tiny = {1.0};
+  EXPECT_THROW((void)autocorrelation(tiny, 0), invariant_error);
+  const std::vector<double> two = {1.0, 2.0};
+  EXPECT_THROW((void)autocorrelation(two, 2), invariant_error);
+  EXPECT_THROW((void)integrated_autocorrelation_time(two), invariant_error);
+}
+
+TEST(Autocorrelation, IgtCensusTimeScaleGrowsWithN) {
+  // The census autocorrelation time of the k-IGT count chain grows with
+  // the population (single-ball moves change a larger census more slowly):
+  // a practical demonstration of why benches decorrelate samples.
+  auto measure_tau = [](std::uint64_t n_gtft) {
+    const abg_population pop{10, 10, n_gtft};
+    igt_count_chain chain(pop, 3, 0);
+    rng gen(63);
+    chain.run(50'000, gen);
+    std::vector<double> top_level;
+    top_level.reserve(40000);
+    for (int i = 0; i < 40000; ++i) {
+      chain.step(gen);
+      top_level.push_back(static_cast<double>(chain.counts()[2]));
+    }
+    return integrated_autocorrelation_time(top_level, 20000, 0.02);
+  };
+  const double tau_small = measure_tau(20);
+  const double tau_large = measure_tau(200);
+  EXPECT_GT(tau_large, 2.0 * tau_small);
+}
+
+}  // namespace
+}  // namespace ppg

@@ -1,0 +1,141 @@
+// Tests for the one-dimensional Ehrenfest projections: the k = 2
+// birth-death chain of expression (11) and the single-ball level marginal.
+#include <gtest/gtest.h>
+
+#include "ppg/ehrenfest/birth_death.hpp"
+#include "ppg/ehrenfest/coordinate_walk.hpp"
+#include "ppg/ehrenfest/exact_chain.hpp"
+#include "ppg/ehrenfest/stationary.hpp"
+#include "ppg/markov/mixing.hpp"
+#include "ppg/markov/random_walk.hpp"
+#include "ppg/markov/stationary.hpp"
+#include "ppg/stats/empirical.hpp"
+#include "ppg/util/error.hpp"
+
+namespace ppg {
+namespace {
+
+TEST(BirthDeath, ProjectionIsStochastic) {
+  const ehrenfest_params params{2, 0.3, 0.15, 50};
+  const auto chain = two_urn_projected_chain(params);
+  EXPECT_TRUE(chain.is_stochastic(1e-12));
+  EXPECT_TRUE(chain.is_irreducible());
+  EXPECT_EQ(chain.num_states(), 51u);
+}
+
+TEST(BirthDeath, ProjectionRequiresKTwo) {
+  EXPECT_THROW((void)two_urn_projected_chain({3, 0.3, 0.15, 10}),
+               invariant_error);
+}
+
+TEST(BirthDeath, StationaryIsBinomial) {
+  const ehrenfest_params params{2, 0.3, 0.15, 30};  // lambda = 2
+  const auto pi = two_urn_projected_stationary(params);
+  const auto solved = solve_stationary(two_urn_projected_chain(params));
+  EXPECT_LT(total_variation(pi, solved), 1e-10);
+  // Mean urn-1 load = m p with p = 1/(1+lambda) = 1/3.
+  double mean = 0.0;
+  for (std::size_t x = 0; x < pi.size(); ++x) {
+    mean += static_cast<double>(x) * pi[x];
+  }
+  EXPECT_NEAR(mean, 10.0, 1e-9);
+}
+
+TEST(BirthDeath, ProjectionMatchesFullChainTvDecay) {
+  // For k = 2, TV curves computed on the projection must match the full
+  // simplex chain exactly (the projection is a bijection of state spaces).
+  const ehrenfest_params params{2, 0.25, 0.25, 12};
+  const simplex_index index(params.k, params.m);
+  const auto full = build_ehrenfest_chain(params, index);
+  const auto full_pi = exact_stationary_vector(params, index);
+  const auto corners = find_corner_states(index);
+
+  const auto projected = two_urn_projected_chain(params);
+  const auto projected_pi = two_urn_projected_stationary(params);
+
+  // Corner (m, 0, ..., 0) has urn-1 load m.
+  const auto t_full = hitting_time_of_tv(full, corners.bottom, full_pi, 0.25,
+                                         1'000'000);
+  const auto t_proj =
+      hitting_time_of_tv(projected, params.m, projected_pi, 0.25, 1'000'000);
+  EXPECT_EQ(t_full, t_proj);
+}
+
+TEST(BirthDeath, DetailedBalanceHolds) {
+  const ehrenfest_params params{2, 0.2, 0.3, 40};
+  const auto chain = two_urn_projected_chain(params);
+  const auto pi = two_urn_projected_stationary(params);
+  EXPECT_LT(chain.detailed_balance_residual(pi), 1e-14);
+}
+
+TEST(BirthDeath, LargeMIsTractable) {
+  // m = 2048 would be an astronomically large simplex for generic code but
+  // is trivial for the tridiagonal projection.
+  const ehrenfest_params params{2, 0.25, 0.25, 2048};
+  const auto chain = two_urn_projected_chain(params);
+  const auto pi = two_urn_projected_stationary(params);
+  EXPECT_LT(chain.detailed_balance_residual(pi), 1e-12);
+  const auto curve = tv_decay_curve(chain, 0, pi, {0, 1000});
+  EXPECT_GT(curve.tv[0], 0.99);
+}
+
+TEST(SingleBallMarginal, ZeroStepsIsPointMass) {
+  const ehrenfest_params params{4, 0.3, 0.15, 10};
+  const auto marginal = single_ball_marginal(params, 2, 0);
+  EXPECT_DOUBLE_EQ(marginal[2], 1.0);
+}
+
+TEST(SingleBallMarginal, IsDistributionAndConvergesToGeometric) {
+  const ehrenfest_params params{4, 0.3, 0.15, 10};
+  const auto marginal =
+      single_ball_marginal(params, 0, 4000 * params.m);
+  EXPECT_TRUE(is_distribution(marginal, 1e-9));
+  const auto stationary =
+      reflecting_walk_stationary(params.k, {params.a, params.b});
+  EXPECT_LT(total_variation(marginal, stationary), 1e-6);
+}
+
+TEST(SingleBallMarginal, MatchesDirectSimulation) {
+  const ehrenfest_params params{3, 0.25, 0.25, 5};
+  const std::uint64_t t = 60;
+  const auto exact = single_ball_marginal(params, 0, t);
+  // Simulate the full coordinate walk and record ball 0's level at time t.
+  rng gen(451);
+  std::vector<double> empirical(params.k, 0.0);
+  constexpr int trials = 200000;
+  for (int trial = 0; trial < trials; ++trial) {
+    coordinate_walk walk(params, 0);
+    walk.run(t, gen);
+    empirical[walk.values()[0]] += 1.0;
+  }
+  for (auto& x : empirical) x /= trials;
+  EXPECT_LT(total_variation(exact, empirical), 0.01);
+}
+
+TEST(SingleBallMarginal, MeanLoadIdentity) {
+  // Summing m independent single-ball marginals gives the expected count
+  // vector of the full process started from the same homogeneous state:
+  // E[z_t(j)] = m * marginal_t(j). Cross-check against simulation.
+  const ehrenfest_params params{3, 0.3, 0.15, 20};
+  const std::uint64_t t = 500;
+  const auto marginal = single_ball_marginal(params, 0, t);
+  rng gen(452);
+  std::vector<double> mean_counts(params.k, 0.0);
+  constexpr int trials = 20000;
+  for (int trial = 0; trial < trials; ++trial) {
+    coordinate_walk walk(params, 0);
+    walk.run(t, gen);
+    for (std::size_t j = 0; j < params.k; ++j) {
+      mean_counts[j] += static_cast<double>(walk.counts()[j]);
+    }
+  }
+  for (std::size_t j = 0; j < params.k; ++j) {
+    mean_counts[j] /= trials;
+    EXPECT_NEAR(mean_counts[j],
+                static_cast<double>(params.m) * marginal[j], 0.15)
+        << "urn " << j;
+  }
+}
+
+}  // namespace
+}  // namespace ppg

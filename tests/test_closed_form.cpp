@@ -1,0 +1,175 @@
+// Tests for the paper's closed-form payoff derivatives and the
+// Proposition 2.2 local-optimality regime.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ppg/games/closed_form.hpp"
+#include "ppg/util/error.hpp"
+
+namespace ppg {
+namespace {
+
+// Numeric differentiation helpers (central differences).
+double numeric_df(const rd_setting& s, double g, double gp) {
+  const double h = 1e-6;
+  return (f_gtft_vs_gtft(s, g + h, gp) - f_gtft_vs_gtft(s, g - h, gp)) /
+         (2.0 * h);
+}
+
+double numeric_d2f(const rd_setting& s, double g, double gp) {
+  const double h = 1e-4;
+  return (f_gtft_vs_gtft(s, g + h, gp) - 2.0 * f_gtft_vs_gtft(s, g, gp) +
+          f_gtft_vs_gtft(s, g - h, gp)) /
+         (h * h);
+}
+
+TEST(ClosedForm, SettingValidity) {
+  EXPECT_TRUE((rd_setting{2.0, 1.0, 0.9, 0.5}).valid());
+  EXPECT_FALSE((rd_setting{1.0, 1.0, 0.9, 0.5}).valid());   // b == c
+  EXPECT_FALSE((rd_setting{2.0, 1.0, 1.0, 0.5}).valid());   // delta == 1
+  EXPECT_FALSE((rd_setting{2.0, 1.0, 0.9, 1.5}).valid());   // s1 > 1
+  EXPECT_FALSE((rd_setting{2.0, -1.0, 0.9, 0.5}).valid());  // c < 0
+}
+
+TEST(ClosedForm, FVsAcIndependentOfGenerosity) {
+  const rd_setting s{3.0, 1.0, 0.7, 0.4};
+  const double base = f_gtft_vs_ac(s);
+  EXPECT_NEAR(base, 1.0 * 0.6 + 2.0 / 0.3, 1e-12);
+}
+
+TEST(ClosedForm, FVsAdDecreasesLinearlyInG) {
+  const rd_setting s{3.0, 1.0, 0.5, 0.2};
+  // f(g, AD) = -c s1 - c g delta/(1-delta): linear in g with slope
+  // -c delta/(1-delta).
+  const double slope =
+      (f_gtft_vs_ad(s, 0.8) - f_gtft_vs_ad(s, 0.2)) / 0.6;
+  EXPECT_NEAR(slope, -1.0 * 0.5 / 0.5, 1e-10);
+  EXPECT_NEAR(f_gtft_vs_ad(s, 0.0), -0.2, 1e-12);
+}
+
+TEST(ClosedForm, MutualFullGenerosityEqualsFullCooperationAfterRound1) {
+  // g = g' = 1: round 1 is random by s1, all later rounds are CC.
+  const rd_setting s{3.0, 1.0, 0.8, 0.25};
+  const double expected =
+      s.s1 * (s.b - s.c) + (s.b - s.c) * s.delta / (1.0 - s.delta);
+  EXPECT_NEAR(f_gtft_vs_gtft(s, 1.0, 1.0), expected, 1e-10);
+}
+
+TEST(ClosedForm, TwoTftPlayersClosedForm) {
+  // g = g' = 0 reduces to two TFT players: f = s1 (b - c)/(1 - delta).
+  const rd_setting s{3.0, 1.0, 0.6, 0.7};
+  EXPECT_NEAR(f_gtft_vs_gtft(s, 0.0, 0.0),
+              s.s1 * (s.b - s.c) / (1.0 - s.delta), 1e-10);
+}
+
+TEST(ClosedForm, DerivativeMatchesNumericDifferentiation) {
+  const rd_setting s{4.0, 1.0, 0.85, 0.3};
+  for (const double g : {0.05, 0.3, 0.7, 0.95}) {
+    for (const double gp : {0.1, 0.5, 0.9}) {
+      EXPECT_NEAR(df_dg_gtft_vs_gtft(s, g, gp), numeric_df(s, g, gp), 1e-5)
+          << "g=" << g << " g'=" << gp;
+    }
+  }
+}
+
+TEST(ClosedForm, SecondDerivativeMatchesNumericDifferentiation) {
+  const rd_setting s{4.0, 1.0, 0.85, 0.3};
+  for (const double g : {0.1, 0.4, 0.8}) {
+    for (const double gp : {0.2, 0.6}) {
+      EXPECT_NEAR(d2f_dg2_gtft_vs_gtft(s, g, gp), numeric_d2f(s, g, gp),
+                  1e-3)
+          << "g=" << g << " g'=" << gp;
+    }
+  }
+}
+
+TEST(ClosedForm, SecondDerivativeBoundIsValid) {
+  const rd_setting s{4.0, 1.0, 0.85, 0.3};
+  const double g_max = 0.9;
+  const double bound = second_derivative_bound(s, g_max);
+  for (double g = 0.0; g <= g_max + 1e-12; g += 0.05) {
+    for (double gp = 0.0; gp <= g_max + 1e-12; gp += 0.05) {
+      EXPECT_LE(std::abs(d2f_dg2_gtft_vs_gtft(s, g, gp)), bound);
+    }
+  }
+}
+
+TEST(Proposition22, RegimePredicate) {
+  // delta > c/b and g_max < 1 - c/(delta b).
+  const rd_setting good{3.0, 1.0, 0.8, 0.5};
+  EXPECT_TRUE(proposition_2_2_regime(good, 0.5));
+  // g_max too large: 1 - 1/(0.8*3) = 0.583...
+  EXPECT_FALSE(proposition_2_2_regime(good, 0.6));
+  // delta below c/b.
+  const rd_setting slow{3.0, 1.0, 0.3, 0.5};
+  EXPECT_FALSE(proposition_2_2_regime(slow, 0.2));
+  // s1 = 1 excluded.
+  const rd_setting deterministic{3.0, 1.0, 0.8, 1.0};
+  EXPECT_FALSE(proposition_2_2_regime(deterministic, 0.5));
+}
+
+// Proposition 2.2(i): f(g, g'') strictly increasing in g within the regime.
+class Prop22MonotoneSweep
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(Prop22MonotoneSweep, PayoffIncreasesWithOwnGenerosity) {
+  const auto [b, delta] = GetParam();
+  const rd_setting s{b, 1.0, delta, 0.5};
+  const double g_max = 0.95 * (1.0 - 1.0 / (delta * b));
+  ASSERT_TRUE(proposition_2_2_regime(s, g_max));
+  const int steps = 8;
+  for (int gi = 0; gi < steps; ++gi) {
+    for (int gj = gi + 1; gj <= steps; ++gj) {
+      const double g = g_max * gi / steps;
+      const double g2 = g_max * gj / steps;
+      for (int gk = 0; gk <= steps; ++gk) {
+        const double gpp = g_max * gk / steps;
+        // (i) strictly increasing against any GTFT opponent.
+        EXPECT_LT(f_gtft_vs_gtft(s, g, gpp), f_gtft_vs_gtft(s, g2, gpp));
+      }
+      // (ii) non-decreasing against AC (equal here).
+      EXPECT_LE(f_gtft_vs_ac(s), f_gtft_vs_ac(s));
+      // (iii) strictly decreasing against AD.
+      EXPECT_GT(f_gtft_vs_ad(s, g), f_gtft_vs_ad(s, g2));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Regimes, Prop22MonotoneSweep,
+    ::testing::Combine(::testing::Values(2.0, 3.0, 8.0),
+                       ::testing::Values(0.6, 0.8, 0.95)));
+
+TEST(Proposition22, DerivativePositiveInsideRegime) {
+  const rd_setting s{3.0, 1.0, 0.8, 0.5};
+  const double g_max = 0.9 * (1.0 - 1.0 / (0.8 * 3.0));
+  ASSERT_TRUE(proposition_2_2_regime(s, g_max));
+  for (double g = 0.0; g <= g_max; g += g_max / 10.0) {
+    for (double gp = 0.0; gp <= g_max; gp += g_max / 10.0) {
+      EXPECT_GT(df_dg_gtft_vs_gtft(s, g, gp), 0.0);
+    }
+  }
+}
+
+TEST(Proposition22, MonotonicityCanFailOutsideRegime) {
+  // With tiny delta the future is worthless: generosity against a stingy
+  // GTFT opponent only costs, so the derivative goes negative somewhere.
+  const rd_setting s{1.2, 1.0, 0.05, 0.5};
+  bool found_negative = false;
+  for (double g = 0.0; g <= 1.0; g += 0.1) {
+    for (double gp = 0.0; gp <= 1.0; gp += 0.1) {
+      if (df_dg_gtft_vs_gtft(s, g, gp) < 0.0) found_negative = true;
+    }
+  }
+  EXPECT_TRUE(found_negative);
+}
+
+TEST(ClosedForm, GenerosityRangeChecked) {
+  const rd_setting s{3.0, 1.0, 0.8, 0.5};
+  EXPECT_THROW((void)f_gtft_vs_ad(s, 1.5), invariant_error);
+  EXPECT_THROW((void)f_gtft_vs_gtft(s, -0.1, 0.5), invariant_error);
+}
+
+}  // namespace
+}  // namespace ppg

@@ -1,0 +1,161 @@
+// Exact verification of the paper's Ehrenfest results on fully enumerated
+// state spaces: Theorem 2.4 (stationary law, via detailed balance and via
+// direct solve), Theorem 2.5 (mixing-time bounds bracket the measured
+// mixing time), and Proposition A.9 (diameter lower bound structure).
+#include <gtest/gtest.h>
+
+#include "ppg/ehrenfest/bounds.hpp"
+#include "ppg/ehrenfest/exact_chain.hpp"
+#include "ppg/ehrenfest/stationary.hpp"
+#include "ppg/markov/mixing.hpp"
+#include "ppg/markov/stationary.hpp"
+#include "ppg/stats/distributions.hpp"
+#include "ppg/stats/empirical.hpp"
+
+namespace ppg {
+namespace {
+
+TEST(ExactChain, IsStochasticAndIrreducible) {
+  const ehrenfest_params params{3, 0.3, 0.2, 6};
+  const simplex_index index(params.k, params.m);
+  const auto chain = build_ehrenfest_chain(params, index);
+  EXPECT_TRUE(chain.is_stochastic(1e-12));
+  EXPECT_TRUE(chain.is_irreducible());
+}
+
+TEST(ExactChain, CornersAreExtreme) {
+  const simplex_index index(3, 5);
+  const auto corners = find_corner_states(index);
+  EXPECT_EQ(index.unrank(corners.bottom),
+            (std::vector<std::uint64_t>{5, 0, 0}));
+  EXPECT_EQ(index.unrank(corners.top),
+            (std::vector<std::uint64_t>{0, 0, 5}));
+}
+
+// Theorem 2.4 via detailed balance: the multinomial PMF satisfies
+// pi(x) P(x,y) = pi(y) P(y,x) exactly, over a parameter sweep.
+class DetailedBalanceSweep
+    : public ::testing::TestWithParam<
+          std::tuple<std::size_t, std::uint64_t, double, double>> {};
+
+TEST_P(DetailedBalanceSweep, MultinomialSatisfiesDetailedBalance) {
+  const auto [k, m, a, b] = GetParam();
+  const ehrenfest_params params{k, a, b, m};
+  ASSERT_TRUE(params.valid());
+  const simplex_index index(k, m);
+  const auto chain = build_ehrenfest_chain(params, index);
+  const auto pi = exact_stationary_vector(params, index);
+  EXPECT_LT(chain.detailed_balance_residual(pi), 1e-14)
+      << "k=" << k << " m=" << m << " a=" << a << " b=" << b;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Parameters, DetailedBalanceSweep,
+    ::testing::Combine(::testing::Values(std::size_t{2}, std::size_t{3},
+                                         std::size_t{4}, std::size_t{5}),
+                       ::testing::Values(std::uint64_t{3}, std::uint64_t{6}),
+                       ::testing::Values(0.2, 0.35),
+                       ::testing::Values(0.1, 0.35)));
+
+TEST(ExactChain, StationaryMatchesDirectSolve) {
+  const ehrenfest_params params{3, 0.3, 0.15, 5};
+  const simplex_index index(params.k, params.m);
+  const auto chain = build_ehrenfest_chain(params, index);
+  const auto closed = exact_stationary_vector(params, index);
+  const auto solved = solve_stationary(chain);
+  EXPECT_LT(total_variation(closed, solved), 1e-9);
+}
+
+TEST(ExactChain, StationaryIsFixedPoint) {
+  const ehrenfest_params params{4, 0.25, 0.25, 4};
+  const simplex_index index(params.k, params.m);
+  const auto chain = build_ehrenfest_chain(params, index);
+  const auto pi = exact_stationary_vector(params, index);
+  const auto stepped = chain.step(pi);
+  EXPECT_LT(total_variation(pi, stepped), 1e-14);
+}
+
+TEST(ExactChain, BinomialForKEqualsTwo) {
+  // Remark A.2: the k = 2 stationary law is Binomial(m, 1/(1+lambda)).
+  const ehrenfest_params params{2, 0.3, 0.15, 10};  // lambda = 2
+  const simplex_index index(2, 10);
+  const auto pi = exact_stationary_vector(params, index);
+  // State (x0, m - x0); p(first urn) = 1/(1+lambda) = 1/3.
+  for (std::uint64_t x0 = 0; x0 <= 10; ++x0) {
+    const auto r = index.rank({x0, 10 - x0});
+    EXPECT_NEAR(pi[r], binomial_pmf(10, 1.0 / 3.0, x0), 1e-12);
+  }
+}
+
+TEST(MixingBounds, BracketMeasuredMixingTime) {
+  // Measured t_mix (worst corner start) must lie between the diameter lower
+  // bound km/2 and the coupling upper bound 2 Phi log(4m).
+  for (const auto& params :
+       {ehrenfest_params{2, 0.25, 0.25, 12}, ehrenfest_params{3, 0.3, 0.15, 8},
+        ehrenfest_params{4, 0.2, 0.3, 6}}) {
+    const simplex_index index(params.k, params.m);
+    const auto chain = build_ehrenfest_chain(params, index);
+    const auto pi = exact_stationary_vector(params, index);
+    const auto corners = find_corner_states(index);
+    const auto measured = mixing_time_from_starts(
+        chain, {corners.bottom, corners.top}, pi, 0.25, 500000);
+    EXPECT_GE(static_cast<double>(measured), mixing_lower_bound(params))
+        << "k=" << params.k;
+    EXPECT_LE(static_cast<double>(measured), mixing_upper_bound(params))
+        << "k=" << params.k;
+  }
+}
+
+TEST(MixingBounds, PhiCaseDistinction) {
+  // a != b with small gap: k/|a-b| may exceed k^2, so Phi = k^2 m.
+  const ehrenfest_params near_critical{8, 0.3, 0.29, 10};
+  EXPECT_DOUBLE_EQ(phi_bound(near_critical), 64.0 * 10.0);
+  // Large gap: Phi = k/|a-b| * m.
+  const ehrenfest_params biased{8, 0.4, 0.1, 10};
+  EXPECT_DOUBLE_EQ(phi_bound(biased), 8.0 / 0.3 * 10.0);
+  // a == b: Phi = k^2 m.
+  const ehrenfest_params unbiased{8, 0.25, 0.25, 10};
+  EXPECT_DOUBLE_EQ(phi_bound(unbiased), 64.0 * 10.0);
+}
+
+TEST(MixingBounds, LowerBoundIsDiameterOverTwo) {
+  const ehrenfest_params params{5, 0.3, 0.2, 7};
+  EXPECT_DOUBLE_EQ(mixing_lower_bound(params), 5.0 * 7.0 / 2.0);
+}
+
+TEST(Mixing, BiasSpeedsUpMixing) {
+  // Theorem 2.5: the k/|a-b| bound beats the k^2 bound only once
+  // |a - b| > 1/k, so the speedup is a *large-k* phenomenon. Use k = 8 with
+  // |a - b| = 0.4 > 1/8 against the balanced chain.
+  const std::uint64_t m = 4;
+  const std::size_t k = 8;
+  const simplex_index index(k, m);
+  auto measure = [&](double a, double b) {
+    const ehrenfest_params params{k, a, b, m};
+    const auto chain = build_ehrenfest_chain(params, index);
+    const auto pi = exact_stationary_vector(params, index);
+    const auto corners = find_corner_states(index);
+    return mixing_time_from_starts(chain, {corners.bottom, corners.top}, pi,
+                                   0.25, 1000000);
+  };
+  const auto balanced = measure(0.25, 0.25);
+  const auto biased = measure(0.45, 0.05);
+  EXPECT_LT(biased, balanced);
+}
+
+TEST(Mixing, TvFromCornerDecaysMonotonically) {
+  const ehrenfest_params params{3, 0.3, 0.2, 6};
+  const simplex_index index(params.k, params.m);
+  const auto chain = build_ehrenfest_chain(params, index);
+  const auto pi = exact_stationary_vector(params, index);
+  const auto corners = find_corner_states(index);
+  const auto curve =
+      tv_decay_curve(chain, corners.bottom, pi, {0, 50, 200, 800, 3200});
+  for (std::size_t i = 1; i < curve.tv.size(); ++i) {
+    EXPECT_LE(curve.tv[i], curve.tv[i - 1] + 1e-12);
+  }
+  EXPECT_GT(curve.tv.front(), 0.9);  // corner start is far from stationary
+}
+
+}  // namespace
+}  // namespace ppg

@@ -1,0 +1,241 @@
+// Tests for the exact payoff engine (Appendix B.1): round transition
+// matrices, occupation masses, and the equivalence with the paper's
+// closed-form expressions (44)-(46).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ppg/games/closed_form.hpp"
+#include "ppg/games/exact_payoff.hpp"
+#include "ppg/util/error.hpp"
+
+namespace ppg {
+namespace {
+
+constexpr double kTol = 1e-10;
+
+TEST(RoundMatrix, GtftVsAcMatchesPaperEquation35) {
+  const double g = 0.3;
+  const auto m = round_transition_matrix(generous_tit_for_tat(g, 0.5),
+                                         always_cooperate());
+  // Paper (35): rows CC=[1,0,0,0], CD=[g,0,1-g,0], DC=[1,0,0,0],
+  // DD=[g,0,1-g,0].
+  const double expected[4][4] = {{1, 0, 0, 0},
+                                 {g, 0, 1 - g, 0},
+                                 {1, 0, 0, 0},
+                                 {g, 0, 1 - g, 0}};
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      EXPECT_NEAR(m(r, c), expected[r][c], kTol) << "entry " << r << "," << c;
+    }
+  }
+}
+
+TEST(RoundMatrix, GtftVsAdMatchesPaperEquation38) {
+  const double g = 0.3;
+  const auto m = round_transition_matrix(generous_tit_for_tat(g, 0.5),
+                                         always_defect());
+  const double expected[4][4] = {{0, 1, 0, 0},
+                                 {0, g, 0, 1 - g},
+                                 {0, 1, 0, 0},
+                                 {0, g, 0, 1 - g}};
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      EXPECT_NEAR(m(r, c), expected[r][c], kTol) << "entry " << r << "," << c;
+    }
+  }
+}
+
+TEST(RoundMatrix, GtftVsGtftMatchesPaperEquation41) {
+  const double g = 0.3;
+  const double gp = 0.6;
+  const auto m = round_transition_matrix(generous_tit_for_tat(g, 0.5),
+                                         generous_tit_for_tat(gp, 0.5));
+  const double expected[4][4] = {
+      {1, 0, 0, 0},
+      {g, 0, 1 - g, 0},
+      {gp, 1 - gp, 0, 0},
+      {g * gp, (1 - gp) * g, gp * (1 - g), (1 - g) * (1 - gp)}};
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      EXPECT_NEAR(m(r, c), expected[r][c], kTol) << "entry " << r << "," << c;
+    }
+  }
+}
+
+TEST(RoundMatrix, AlwaysRowStochastic) {
+  const memory_one_strategy strategies[] = {
+      always_cooperate(), always_defect(), tit_for_tat(0.5),
+      generous_tit_for_tat(0.25, 0.75), win_stay_lose_shift(), grim()};
+  for (const auto& row : strategies) {
+    for (const auto& col : strategies) {
+      EXPECT_TRUE(round_transition_matrix(row, col).is_row_stochastic());
+    }
+  }
+}
+
+TEST(InitialDistribution, MatchesPaperEquations34And37And40) {
+  const double s1 = 0.6;
+  const auto gtft = generous_tit_for_tat(0.3, s1);
+  {
+    const auto q1 = initial_state_distribution(gtft, always_cooperate());
+    EXPECT_NEAR(q1[0], s1, kTol);
+    EXPECT_NEAR(q1[1], 0.0, kTol);
+    EXPECT_NEAR(q1[2], 1 - s1, kTol);
+    EXPECT_NEAR(q1[3], 0.0, kTol);
+  }
+  {
+    const auto q1 = initial_state_distribution(gtft, always_defect());
+    EXPECT_NEAR(q1[0], 0.0, kTol);
+    EXPECT_NEAR(q1[1], s1, kTol);
+    EXPECT_NEAR(q1[2], 0.0, kTol);
+    EXPECT_NEAR(q1[3], 1 - s1, kTol);
+  }
+  {
+    const auto q1 = initial_state_distribution(gtft, gtft);
+    EXPECT_NEAR(q1[0], s1 * s1, kTol);
+    EXPECT_NEAR(q1[1], s1 * (1 - s1), kTol);
+    EXPECT_NEAR(q1[2], (1 - s1) * s1, kTol);
+    EXPECT_NEAR(q1[3], (1 - s1) * (1 - s1), kTol);
+  }
+}
+
+TEST(Occupation, SumsToExpectedRounds) {
+  const repeated_donation_game rdg{{3.0, 1.0}, 0.8};
+  const auto occ = expected_state_occupation(
+      rdg, generous_tit_for_tat(0.2, 0.9), tit_for_tat(0.5));
+  double total = 0.0;
+  for (const double x : occ) total += x;
+  EXPECT_NEAR(total, rdg.expected_rounds(), 1e-9);
+}
+
+TEST(ExpectedPayoff, AcVsAcFullCooperation) {
+  // Two AC players earn (b - c) every round: (b - c)/(1 - delta).
+  const repeated_donation_game rdg{{3.0, 1.0}, 0.75};
+  const double f =
+      expected_payoff(rdg, always_cooperate(), always_cooperate());
+  EXPECT_NEAR(f, 2.0 / 0.25, 1e-9);
+}
+
+TEST(ExpectedPayoff, AdVsAdZero) {
+  const repeated_donation_game rdg{{3.0, 1.0}, 0.75};
+  EXPECT_NEAR(expected_payoff(rdg, always_defect(), always_defect()), 0.0,
+              1e-12);
+}
+
+TEST(ExpectedPayoff, AdExploitsAc) {
+  // AD vs AC: b per round for the defector, -c per round for the cooperator.
+  const repeated_donation_game rdg{{3.0, 1.0}, 0.5};
+  const auto [row, col] =
+      expected_payoffs(rdg, always_defect(), always_cooperate());
+  EXPECT_NEAR(row, 3.0 / 0.5, 1e-9);
+  EXPECT_NEAR(col, -1.0 / 0.5, 1e-9);
+}
+
+TEST(ExpectedPayoff, SymmetryOfRoles) {
+  // f(S1, S2) computed as row equals the column payoff of the swapped
+  // pairing.
+  const repeated_donation_game rdg{{4.0, 1.0}, 0.85};
+  const auto a = generous_tit_for_tat(0.15, 0.7);
+  const auto b = win_stay_lose_shift(0.4);
+  const auto [row_ab, col_ab] = expected_payoffs(rdg, a, b);
+  const auto [row_ba, col_ba] = expected_payoffs(rdg, b, a);
+  EXPECT_NEAR(row_ab, col_ba, 1e-9);
+  EXPECT_NEAR(col_ab, row_ba, 1e-9);
+}
+
+TEST(ExpectedPayoff, MatchesClosedFormVsAc) {
+  const rd_setting s{3.0, 1.0, 0.8, 0.6};
+  const repeated_donation_game rdg = s.to_game();
+  for (const double g : {0.0, 0.2, 0.5, 0.9}) {
+    const double engine = expected_payoff(
+        rdg, generous_tit_for_tat(g, s.s1), always_cooperate());
+    EXPECT_NEAR(engine, f_gtft_vs_ac(s), 1e-9) << "g = " << g;
+  }
+}
+
+TEST(ExpectedPayoff, MatchesClosedFormVsAd) {
+  const rd_setting s{3.0, 1.0, 0.8, 0.6};
+  const repeated_donation_game rdg = s.to_game();
+  for (const double g : {0.0, 0.2, 0.5, 0.9}) {
+    const double engine = expected_payoff(
+        rdg, generous_tit_for_tat(g, s.s1), always_defect());
+    EXPECT_NEAR(engine, f_gtft_vs_ad(s, g), 1e-9) << "g = " << g;
+  }
+}
+
+TEST(ExpectedPayoff, MatchesClosedFormVsGtft) {
+  const rd_setting s{3.0, 1.0, 0.8, 0.6};
+  const repeated_donation_game rdg = s.to_game();
+  for (const double g : {0.0, 0.3, 0.7}) {
+    for (const double gp : {0.1, 0.5, 1.0}) {
+      const double engine =
+          expected_payoff(rdg, generous_tit_for_tat(g, s.s1),
+                          generous_tit_for_tat(gp, s.s1));
+      EXPECT_NEAR(engine, f_gtft_vs_gtft(s, g, gp), 1e-9)
+          << "g = " << g << ", g' = " << gp;
+    }
+  }
+}
+
+// Parameterized sweep: engine == closed forms across game settings.
+class PayoffEquivalenceSweep
+    : public ::testing::TestWithParam<std::tuple<double, double, double>> {};
+
+TEST_P(PayoffEquivalenceSweep, EngineEqualsClosedForms) {
+  const auto [b, delta, s1] = GetParam();
+  const rd_setting s{b, 1.0, delta, s1};
+  const repeated_donation_game rdg = s.to_game();
+  for (const double g : {0.0, 0.25, 0.6, 1.0}) {
+    EXPECT_NEAR(expected_payoff(rdg, generous_tit_for_tat(g, s1),
+                                always_cooperate()),
+                f_gtft_vs_ac(s), 1e-8);
+    EXPECT_NEAR(
+        expected_payoff(rdg, generous_tit_for_tat(g, s1), always_defect()),
+        f_gtft_vs_ad(s, g), 1e-8);
+    for (const double gp : {0.0, 0.5, 1.0}) {
+      EXPECT_NEAR(expected_payoff(rdg, generous_tit_for_tat(g, s1),
+                                  generous_tit_for_tat(gp, s1)),
+                  f_gtft_vs_gtft(s, g, gp), 1e-8);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GameSettings, PayoffEquivalenceSweep,
+    ::testing::Combine(::testing::Values(1.5, 2.0, 5.0, 20.0),
+                       ::testing::Values(0.1, 0.5, 0.9, 0.99),
+                       ::testing::Values(0.0, 0.5, 0.95)));
+
+TEST(CooperationRate, ExtremesAndOrdering) {
+  const repeated_donation_game rdg{{3.0, 1.0}, 0.9};
+  EXPECT_NEAR(
+      cooperation_rate(rdg, always_cooperate(), always_defect()), 1.0, 1e-9);
+  EXPECT_NEAR(
+      cooperation_rate(rdg, always_defect(), always_cooperate()), 0.0, 1e-9);
+  // Higher generosity -> (weakly) higher own cooperation rate vs AD.
+  const double low = cooperation_rate(
+      rdg, generous_tit_for_tat(0.1, 1.0), always_defect());
+  const double high = cooperation_rate(
+      rdg, generous_tit_for_tat(0.6, 1.0), always_defect());
+  EXPECT_LT(low, high);
+}
+
+TEST(PayoffOracle, DispatchesAllKinds) {
+  const payoff_oracle oracle({{3.0, 1.0}, 0.8}, 0.9);
+  const double f_ac_ad =
+      oracle.payoff(paper_strategy::ac(), paper_strategy::ad());
+  EXPECT_NEAR(f_ac_ad, -1.0 / 0.2, 1e-9);
+  const double via_gtft = oracle.gtft_payoff(0.4, paper_strategy::ad());
+  const rd_setting s{3.0, 1.0, 0.8, 0.9};
+  EXPECT_NEAR(via_gtft, f_gtft_vs_ad(s, 0.4), 1e-9);
+}
+
+TEST(PayoffOracle, InvalidSettingThrows) {
+  EXPECT_THROW(payoff_oracle({{1.0, 2.0}, 0.5}, 0.5), invariant_error);
+  EXPECT_THROW(payoff_oracle({{3.0, 1.0}, 1.0}, 0.5), invariant_error);
+  EXPECT_THROW(payoff_oracle({{3.0, 1.0}, 0.5}, 1.5), invariant_error);
+}
+
+}  // namespace
+}  // namespace ppg

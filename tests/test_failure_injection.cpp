@@ -1,0 +1,116 @@
+// Failure-injection tests: the engine must reject corrupt inputs loudly
+// rather than silently mis-simulate. Each test wires a deliberately broken
+// component through the public API and asserts a diagnosable failure.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "ppg/core/igt_protocol.hpp"
+#include "ppg/ehrenfest/exact_chain.hpp"
+#include "ppg/markov/chain.hpp"
+#include "ppg/markov/stationary.hpp"
+#include "ppg/pp/simulator.hpp"
+#include "ppg/pp/trace.hpp"
+#include "ppg/stats/chi_square.hpp"
+#include "ppg/util/error.hpp"
+
+namespace ppg {
+namespace {
+
+// A protocol that emits a state outside its declared state space.
+class rogue_protocol final : public protocol {
+ public:
+  [[nodiscard]] std::size_t num_states() const override { return 2; }
+  [[nodiscard]] std::pair<agent_state, agent_state> interact(
+      agent_state, agent_state, rng&) const override {
+    return {7, 7};  // out of range
+  }
+};
+
+TEST(FailureInjection, RogueProtocolStateIsCaughtAtApplication) {
+  const rogue_protocol proto;
+  simulation sim(proto, population({0, 1}, 2), rng(1));
+  EXPECT_THROW(sim.step(), invariant_error);
+}
+
+// A protocol that under-declares its state space relative to the
+// population's encoding.
+TEST(FailureInjection, PopulationSmallerThanProtocolIsRejected) {
+  const igt_protocol proto(8);  // needs 10 states
+  EXPECT_THROW(simulation(proto, population({0, 1}, 3), rng(2)),
+               invariant_error);
+}
+
+TEST(FailureInjection, NonStochasticChainDetected) {
+  finite_chain chain(2);
+  chain.add_transition(0, 1, 0.7);  // row 0 sums to 0.7
+  chain.add_transition(1, 0, 0.5);
+  chain.add_transition(1, 1, 0.5);
+  EXPECT_FALSE(chain.is_stochastic());
+}
+
+TEST(FailureInjection, NegativeTransitionRejected) {
+  finite_chain chain(2);
+  EXPECT_THROW(chain.add_transition(0, 1, -0.1), invariant_error);
+}
+
+TEST(FailureInjection, StationarySolveOnReducibleChainFails) {
+  // Two absorbing components: stationary distribution is not unique; the
+  // direct solve must either throw (singular system) — any silent answer
+  // would be wrong.
+  finite_chain chain(4);
+  chain.add_transition(0, 1, 1.0);
+  chain.add_transition(1, 0, 1.0);
+  chain.add_transition(2, 3, 1.0);
+  chain.add_transition(3, 2, 1.0);
+  EXPECT_FALSE(chain.is_irreducible());
+  EXPECT_THROW((void)solve_stationary(chain), invariant_error);
+}
+
+TEST(FailureInjection, SimplexMismatchRejectedByExactChain) {
+  const ehrenfest_params params{3, 0.3, 0.2, 6};
+  const simplex_index wrong_k(4, 6);
+  const simplex_index wrong_m(3, 7);
+  EXPECT_THROW((void)build_ehrenfest_chain(params, wrong_k),
+               invariant_error);
+  EXPECT_THROW((void)build_ehrenfest_chain(params, wrong_m),
+               invariant_error);
+}
+
+TEST(FailureInjection, ChiSquareRejectsEmptyAndMismatchedInput) {
+  EXPECT_THROW((void)chi_square_gof({1, 2}, {0.5, 0.3, 0.2}),
+               invariant_error);
+  EXPECT_THROW((void)chi_square_gof({0, 0}, {0.5, 0.5}), invariant_error);
+  EXPECT_THROW((void)chi_square_gof({5}, {1.0}), invariant_error);
+}
+
+TEST(FailureInjection, CorruptCensusLevelsRejected) {
+  const abg_population pop{1, 1, 2};
+  // Level 9 does not exist for k = 4.
+  EXPECT_THROW((void)make_igt_population_states(
+                   pop, 4, std::vector<std::uint32_t>{0, 9}),
+               invariant_error);
+}
+
+TEST(FailureInjection, NanProbabilitiesRejectedByRng) {
+  rng gen(3);
+  // NaN comparisons are false, so next_bernoulli(NaN) must not return true;
+  // geometric with NaN must throw via its range check.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(gen.next_bernoulli(nan));
+  EXPECT_THROW((void)gen.next_geometric(nan), invariant_error);
+}
+
+TEST(FailureInjection, RecorderAfterStateCorruptionStaysConsistent) {
+  // Injecting a failing step must leave previously recorded rows intact.
+  const rogue_protocol proto;
+  simulation sim(proto, population({0, 1}, 2), rng(4));
+  census_recorder recorder({"a", "b"});
+  recorder.record(sim);
+  EXPECT_THROW(sim.step(), invariant_error);
+  EXPECT_EQ(recorder.row_count(), 1u);
+  EXPECT_EQ(recorder.rows()[0].interactions, 0u);
+}
+
+}  // namespace
+}  // namespace ppg

@@ -1,0 +1,172 @@
+// Tests for the dense matrix and LU decomposition.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ppg/linalg/lu.hpp"
+#include "ppg/linalg/matrix.hpp"
+#include "ppg/util/error.hpp"
+#include "ppg/util/rng.hpp"
+
+namespace ppg {
+namespace {
+
+TEST(Matrix, ConstructionAndIndexing) {
+  matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 0) = -2.0;
+  EXPECT_DOUBLE_EQ(m(0, 0), -2.0);
+  EXPECT_THROW((void)m(2, 0), invariant_error);
+}
+
+TEST(Matrix, FromRowsAndIdentity) {
+  const auto m = matrix::from_rows({{1.0, 2.0}, {3.0, 4.0}});
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+  const auto id = matrix::identity(3);
+  EXPECT_DOUBLE_EQ(id(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(id(0, 1), 0.0);
+  EXPECT_THROW((void)matrix::from_rows({{1.0}, {1.0, 2.0}}),
+               invariant_error);
+}
+
+TEST(Matrix, Arithmetic) {
+  const auto a = matrix::from_rows({{1.0, 2.0}, {3.0, 4.0}});
+  const auto b = matrix::from_rows({{5.0, 6.0}, {7.0, 8.0}});
+  const auto sum = a + b;
+  EXPECT_DOUBLE_EQ(sum(0, 0), 6.0);
+  const auto diff = b - a;
+  EXPECT_DOUBLE_EQ(diff(1, 1), 4.0);
+  const auto scaled = 2.0 * a;
+  EXPECT_DOUBLE_EQ(scaled(1, 0), 6.0);
+}
+
+TEST(Matrix, ProductKnownValue) {
+  const auto a = matrix::from_rows({{1.0, 2.0}, {3.0, 4.0}});
+  const auto b = matrix::from_rows({{5.0, 6.0}, {7.0, 8.0}});
+  const auto p = a * b;
+  EXPECT_DOUBLE_EQ(p(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(p(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(p(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(p(1, 1), 50.0);
+}
+
+TEST(Matrix, Transpose) {
+  const auto a = matrix::from_rows({{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}});
+  const auto t = a.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+}
+
+TEST(Matrix, RowStochasticCheck) {
+  const auto good = matrix::from_rows({{0.5, 0.5}, {0.1, 0.9}});
+  EXPECT_TRUE(good.is_row_stochastic());
+  const auto bad_sum = matrix::from_rows({{0.5, 0.6}, {0.1, 0.9}});
+  EXPECT_FALSE(bad_sum.is_row_stochastic());
+  const auto negative = matrix::from_rows({{-0.5, 1.5}, {0.1, 0.9}});
+  EXPECT_FALSE(negative.is_row_stochastic());
+}
+
+TEST(Matrix, RowTimesAndTimesCol) {
+  const auto m = matrix::from_rows({{1.0, 2.0}, {3.0, 4.0}});
+  const auto row = row_times({1.0, 1.0}, m);
+  EXPECT_DOUBLE_EQ(row[0], 4.0);
+  EXPECT_DOUBLE_EQ(row[1], 6.0);
+  const auto col = times_col(m, {1.0, 1.0});
+  EXPECT_DOUBLE_EQ(col[0], 3.0);
+  EXPECT_DOUBLE_EQ(col[1], 7.0);
+}
+
+TEST(Matrix, DotProduct) {
+  EXPECT_DOUBLE_EQ(dot({1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}), 32.0);
+  EXPECT_THROW((void)dot({1.0}, {1.0, 2.0}), invariant_error);
+}
+
+TEST(Lu, SolvesKnownSystem) {
+  const auto a = matrix::from_rows({{2.0, 1.0}, {1.0, 3.0}});
+  const auto x = solve(a, {3.0, 5.0});
+  EXPECT_NEAR(x[0], 0.8, 1e-12);
+  EXPECT_NEAR(x[1], 1.4, 1e-12);
+}
+
+TEST(Lu, SolveRandomSystemsResidual) {
+  rng gen(33);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 2 + trial % 6;
+    matrix a(n, n);
+    std::vector<double> b(n);
+    for (std::size_t r = 0; r < n; ++r) {
+      b[r] = gen.next_double() * 2.0 - 1.0;
+      for (std::size_t c = 0; c < n; ++c) {
+        a(r, c) = gen.next_double() * 2.0 - 1.0;
+      }
+      a(r, r) += 3.0;  // diagonally dominant, hence well-conditioned
+    }
+    const auto x = solve(a, b);
+    const auto ax = times_col(a, x);
+    for (std::size_t r = 0; r < n; ++r) {
+      EXPECT_NEAR(ax[r], b[r], 1e-9);
+    }
+  }
+}
+
+TEST(Lu, SolveTransposed) {
+  const auto a = matrix::from_rows({{2.0, 0.0}, {1.0, 3.0}});
+  // Solve x A = b  <=>  A^T x = b.
+  const auto x = lu_decomposition(a).solve_transposed({5.0, 9.0});
+  // x A = (2 x0 + x1, 3 x1) = (5, 9) -> x1 = 3, x0 = 1.
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Lu, InverseRoundTrip) {
+  const auto a = matrix::from_rows(
+      {{4.0, 1.0, 0.0}, {1.0, 3.0, 1.0}, {0.0, 1.0, 2.0}});
+  const auto inv = inverse(a);
+  const auto prod = a * inv;
+  const auto id = matrix::identity(3);
+  EXPECT_LT((prod - id).max_abs(), 1e-10);
+}
+
+TEST(Lu, DeterminantKnownValues) {
+  const auto a = matrix::from_rows({{1.0, 2.0}, {3.0, 4.0}});
+  EXPECT_NEAR(lu_decomposition(a).determinant(), -2.0, 1e-12);
+  const auto id = matrix::identity(4);
+  EXPECT_NEAR(lu_decomposition(id).determinant(), 1.0, 1e-12);
+}
+
+TEST(Lu, SingularMatrixThrows) {
+  const auto a = matrix::from_rows({{1.0, 2.0}, {2.0, 4.0}});
+  EXPECT_THROW(lu_decomposition{a}, invariant_error);
+}
+
+TEST(Lu, PivotingHandlesZeroDiagonal) {
+  const auto a = matrix::from_rows({{0.0, 1.0}, {1.0, 0.0}});
+  const auto x = solve(a, {2.0, 3.0});
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(Lu, NeumannSeriesIdentity) {
+  // (I - dM)^{-1} = sum (dM)^i for a stochastic M and d < 1: the identity
+  // the exact payoff engine relies on (equation (33)).
+  const auto m = matrix::from_rows({{0.3, 0.7}, {0.6, 0.4}});
+  const double d = 0.8;
+  auto a = matrix::identity(2);
+  a -= d * m;
+  const auto inv = inverse(a);
+  // Partial sums of the series.
+  auto partial = matrix::identity(2);
+  auto term = matrix::identity(2);
+  for (int i = 0; i < 400; ++i) {
+    term = term * (d * m);
+    partial += term;
+  }
+  EXPECT_LT((partial - inv).max_abs(), 1e-8);
+}
+
+}  // namespace
+}  // namespace ppg

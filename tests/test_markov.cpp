@@ -1,0 +1,231 @@
+// Tests for the Markov substrate: finite chains, stationary computation,
+// mixing-time measurement, and random-walk closed forms.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ppg/markov/chain.hpp"
+#include "ppg/markov/mixing.hpp"
+#include "ppg/markov/random_walk.hpp"
+#include "ppg/markov/stationary.hpp"
+#include "ppg/stats/empirical.hpp"
+#include "ppg/stats/summary.hpp"
+#include "ppg/util/error.hpp"
+
+namespace ppg {
+namespace {
+
+finite_chain two_state_chain(double p01, double p10) {
+  finite_chain chain(2);
+  chain.add_transition(0, 1, p01);
+  chain.add_transition(0, 0, 1.0 - p01);
+  chain.add_transition(1, 0, p10);
+  chain.add_transition(1, 1, 1.0 - p10);
+  return chain;
+}
+
+TEST(Chain, StochasticityCheck) {
+  EXPECT_TRUE(two_state_chain(0.3, 0.6).is_stochastic());
+  finite_chain broken(2);
+  broken.add_transition(0, 1, 0.5);
+  broken.add_transition(1, 0, 1.0);
+  EXPECT_FALSE(broken.is_stochastic());
+}
+
+TEST(Chain, TransitionAccumulation) {
+  finite_chain chain(2);
+  chain.add_transition(0, 1, 0.25);
+  chain.add_transition(0, 1, 0.25);
+  EXPECT_DOUBLE_EQ(chain.probability(0, 1), 0.5);
+  EXPECT_DOUBLE_EQ(chain.probability(1, 0), 0.0);
+}
+
+TEST(Chain, StepPreservesMass) {
+  const auto chain = two_state_chain(0.3, 0.6);
+  const auto mu = chain.step({0.2, 0.8});
+  EXPECT_NEAR(mu[0] + mu[1], 1.0, 1e-15);
+  EXPECT_NEAR(mu[0], 0.2 * 0.7 + 0.8 * 0.6, 1e-15);
+}
+
+TEST(Chain, EvolveMatchesRepeatedStep) {
+  const auto chain = two_state_chain(0.3, 0.6);
+  auto manual = std::vector<double>{1.0, 0.0};
+  for (int i = 0; i < 5; ++i) manual = chain.step(manual);
+  const auto direct = chain.evolve({1.0, 0.0}, 5);
+  EXPECT_NEAR(manual[0], direct[0], 1e-15);
+}
+
+TEST(Chain, IrreducibilityDetection) {
+  EXPECT_TRUE(two_state_chain(0.3, 0.6).is_irreducible());
+  finite_chain absorbing(2);
+  absorbing.add_transition(0, 0, 1.0);
+  absorbing.add_transition(1, 0, 1.0);
+  EXPECT_FALSE(absorbing.is_irreducible());
+}
+
+TEST(Stationary, TwoStateClosedForm) {
+  // pi = (p10, p01)/(p01 + p10).
+  const auto chain = two_state_chain(0.3, 0.6);
+  const auto pi = solve_stationary(chain);
+  EXPECT_NEAR(pi[0], 0.6 / 0.9, 1e-12);
+  EXPECT_NEAR(pi[1], 0.3 / 0.9, 1e-12);
+}
+
+TEST(Stationary, PowerIterationAgreesWithSolve) {
+  const auto chain = two_state_chain(0.25, 0.15);
+  const auto solved = solve_stationary(chain);
+  const auto iterated = power_iteration_stationary(chain);
+  EXPECT_TRUE(iterated.converged);
+  EXPECT_LT(total_variation(solved, iterated.distribution), 1e-9);
+}
+
+TEST(Stationary, StationaryIsFixedPoint) {
+  const auto chain = two_state_chain(0.4, 0.2);
+  const auto pi = solve_stationary(chain);
+  const auto stepped = chain.step(pi);
+  EXPECT_LT(total_variation(pi, stepped), 1e-14);
+}
+
+TEST(Chain, DetailedBalanceResidual) {
+  // Birth-death chains are reversible: residual should vanish at pi.
+  const auto chain = reflecting_walk_chain(5, {0.2, 0.3});
+  const auto pi = solve_stationary(chain);
+  EXPECT_LT(chain.detailed_balance_residual(pi), 1e-12);
+  // A uniform distribution is not stationary here.
+  const std::vector<double> uniform(5, 0.2);
+  EXPECT_GT(chain.detailed_balance_residual(uniform), 1e-3);
+}
+
+TEST(Mixing, TvDecayIsMonotoneForLazyChain) {
+  const auto chain = reflecting_walk_chain(6, {0.2, 0.2});
+  const auto pi = solve_stationary(chain);
+  const auto curve = tv_decay_curve(chain, 0, pi, {0, 10, 50, 200, 1000});
+  for (std::size_t i = 1; i < curve.tv.size(); ++i) {
+    EXPECT_LE(curve.tv[i], curve.tv[i - 1] + 1e-12);
+  }
+  EXPECT_LT(curve.tv.back(), 0.05);
+}
+
+TEST(Mixing, HittingTimeOfTvFindsQuarter) {
+  const auto chain = reflecting_walk_chain(4, {0.3, 0.3});
+  const auto pi = solve_stationary(chain);
+  const auto t = hitting_time_of_tv(chain, 0, pi, 0.25, 100000);
+  EXPECT_GT(t, 0u);
+  EXPECT_LT(t, 100000u);
+  // Verify the definition: TV at t is <= 1/4, TV at t-1 is > 1/4.
+  const auto curve = tv_decay_curve(chain, 0, pi, {t - 1, t});
+  EXPECT_GT(curve.tv[0], 0.25);
+  EXPECT_LE(curve.tv[1], 0.25);
+}
+
+TEST(Mixing, WorstOfStartsIsMax) {
+  const auto chain = reflecting_walk_chain(8, {0.35, 0.1});
+  const auto pi = solve_stationary(chain);
+  const auto from0 = hitting_time_of_tv(chain, 0, pi, 0.25, 100000);
+  const auto from7 = hitting_time_of_tv(chain, 7, pi, 0.25, 100000);
+  const auto worst = mixing_time_from_starts(chain, {0, 7}, pi, 0.25, 100000);
+  EXPECT_EQ(worst, std::max(from0, from7));
+}
+
+TEST(RandomWalk, UnbiasedAbsorptionTimeClosedForm) {
+  // Unbiased lazy walk on {0..N}: E[tau] = z(N-z)/(a+b).
+  const walk_params params{0.25, 0.25};
+  EXPECT_NEAR(expected_absorption_time(params, 10, 5), 5.0 * 5.0 / 0.5,
+              1e-9);
+  EXPECT_DOUBLE_EQ(expected_absorption_time(params, 10, 0), 0.0);
+  EXPECT_DOUBLE_EQ(expected_absorption_time(params, 10, 10), 0.0);
+}
+
+TEST(RandomWalk, BiasedAbsorptionMatchesSimulation) {
+  const walk_params params{0.3, 0.15};
+  const std::int64_t span = 12;
+  const std::int64_t start = 4;
+  rng gen(55);
+  running_summary s;
+  for (int i = 0; i < 40000; ++i) {
+    s.add(static_cast<double>(
+        simulate_absorption_time(params, span, start, gen)));
+  }
+  const double expected = expected_absorption_time(params, span, start);
+  EXPECT_NEAR(s.mean(), expected, 4.0 * s.ci_half_width());
+}
+
+TEST(RandomWalk, UnbiasedAbsorptionMatchesSimulation) {
+  const walk_params params{0.25, 0.25};
+  rng gen(56);
+  running_summary s;
+  for (int i = 0; i < 40000; ++i) {
+    s.add(static_cast<double>(simulate_absorption_time(params, 8, 3, gen)));
+  }
+  EXPECT_NEAR(s.mean(), expected_absorption_time(params, 8, 3),
+              4.0 * s.ci_half_width());
+}
+
+TEST(RandomWalk, UpperAbsorptionProbability) {
+  // Unbiased: probability z/N.
+  EXPECT_NEAR(upper_absorption_probability({0.2, 0.2}, 10, 3), 0.3, 1e-12);
+  // Strong upward bias from the middle: near 1.
+  EXPECT_GT(upper_absorption_probability({0.4, 0.05}, 20, 10), 0.999);
+  // Matches simulation for a moderate bias.
+  const walk_params params{0.3, 0.2};
+  rng gen(57);
+  int upper = 0;
+  constexpr int trials = 30000;
+  for (int i = 0; i < trials; ++i) {
+    std::int64_t pos = 4;
+    while (pos != 0 && pos != 10) {
+      const double u = gen.next_double();
+      if (u < params.up) ++pos;
+      else if (u < params.up + params.down) --pos;
+    }
+    if (pos == 10) ++upper;
+  }
+  EXPECT_NEAR(upper / static_cast<double>(trials),
+              upper_absorption_probability(params, 10, 4), 0.01);
+}
+
+TEST(RandomWalk, ReflectingChainIsStochasticAndReversible) {
+  const auto chain = reflecting_walk_chain(7, {0.3, 0.2});
+  EXPECT_TRUE(chain.is_stochastic());
+  EXPECT_TRUE(chain.is_irreducible());
+  const auto pi = reflecting_walk_stationary(7, {0.3, 0.2});
+  EXPECT_LT(chain.detailed_balance_residual(pi), 1e-12);
+}
+
+TEST(RandomWalk, ReflectingStationaryMatchesSolve) {
+  const walk_params params{0.15, 0.3};
+  const auto closed = reflecting_walk_stationary(6, params);
+  const auto solved = solve_stationary(reflecting_walk_chain(6, params));
+  EXPECT_LT(total_variation(closed, solved), 1e-10);
+}
+
+// Property sweep: the geometric stationary law holds across biases & sizes.
+class ReflectingWalkSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, double>> {};
+
+TEST_P(ReflectingWalkSweep, ClosedFormStationary) {
+  const auto [size, up] = GetParam();
+  const walk_params params{up, 0.45 - up / 2.0};
+  const auto closed = reflecting_walk_stationary(size, params);
+  const auto solved = solve_stationary(reflecting_walk_chain(size, params));
+  EXPECT_LT(total_variation(closed, solved), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndBiases, ReflectingWalkSweep,
+    ::testing::Combine(::testing::Values(std::size_t{2}, std::size_t{3},
+                                         std::size_t{5}, std::size_t{9},
+                                         std::size_t{16}),
+                       ::testing::Values(0.1, 0.2, 0.3, 0.4)));
+
+TEST(RandomWalk, InvalidParamsThrow) {
+  EXPECT_THROW((void)expected_absorption_time({0.0, 0.5}, 5, 2),
+               invariant_error);
+  EXPECT_THROW((void)expected_absorption_time({0.6, 0.6}, 5, 2),
+               invariant_error);
+  EXPECT_THROW((void)expected_absorption_time({0.3, 0.3}, 5, 9),
+               invariant_error);
+}
+
+}  // namespace
+}  // namespace ppg

@@ -1,0 +1,185 @@
+// Tests for execution noise (perturbed strategies) and the continuous
+// best-response generosity solver.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ppg/core/equilibrium.hpp"
+#include "ppg/core/theory.hpp"
+#include "ppg/games/exact_payoff.hpp"
+#include "ppg/games/rollout.hpp"
+#include "ppg/games/strategy.hpp"
+#include "ppg/util/error.hpp"
+
+namespace ppg {
+namespace {
+
+TEST(Noise, PerturbationMapsProbabilitiesAffinely) {
+  const auto tft = tit_for_tat(1.0);
+  const auto noisy = perturbed(tft, 0.1);
+  EXPECT_DOUBLE_EQ(noisy.initial_cooperation, 0.9);
+  EXPECT_DOUBLE_EQ(noisy.response(game_state::cc), 0.9);   // 1 -> 0.9
+  EXPECT_DOUBLE_EQ(noisy.response(game_state::cd), 0.1);   // 0 -> 0.1
+  EXPECT_TRUE(noisy.valid());
+}
+
+TEST(Noise, ZeroNoiseIsIdentity) {
+  const auto s = generous_tit_for_tat(0.3, 0.7);
+  const auto same = perturbed(s, 0.0);
+  EXPECT_DOUBLE_EQ(same.initial_cooperation, s.initial_cooperation);
+  for (std::size_t i = 0; i < num_game_states; ++i) {
+    EXPECT_DOUBLE_EQ(same.cooperate_given[i], s.cooperate_given[i]);
+  }
+}
+
+TEST(Noise, HalfNoiseErasesAllStructure) {
+  const auto s = grim(1.0);
+  const auto random = perturbed(s, 0.5);
+  EXPECT_DOUBLE_EQ(random.initial_cooperation, 0.5);
+  for (std::size_t i = 0; i < num_game_states; ++i) {
+    EXPECT_DOUBLE_EQ(random.cooperate_given[i], 0.5);
+  }
+}
+
+TEST(Noise, FullNoiseInvertsActions) {
+  const auto noisy_ac = perturbed(always_cooperate(), 1.0);
+  EXPECT_DOUBLE_EQ(noisy_ac.initial_cooperation, 0.0);
+  EXPECT_DOUBLE_EQ(noisy_ac.response(game_state::cc), 0.0);
+}
+
+TEST(Noise, ExactFoldingMatchesExplicitNoiseSimulation) {
+  // Simulate noise explicitly in a rollout (flip each performed action) and
+  // compare against the exact oracle on the perturbed strategies.
+  const repeated_donation_game rdg{{3.0, 1.0}, 0.8};
+  const double noise = 0.05;
+  const auto row = tit_for_tat(1.0);
+  const auto col = generous_tit_for_tat(0.2, 1.0);
+  const double exact =
+      expected_payoff(rdg, perturbed(row, noise), perturbed(col, noise));
+
+  rng gen(881);
+  const auto v = rdg.game.reward_vector();
+  double total = 0.0;
+  constexpr int trials = 300000;
+  for (int t = 0; t < trials; ++t) {
+    auto flip = [&](bool coop) {
+      return gen.next_bernoulli(noise) ? !coop : coop;
+    };
+    bool row_c = flip(gen.next_bernoulli(row.initial_cooperation));
+    bool col_c = flip(gen.next_bernoulli(col.initial_cooperation));
+    double payoff = 0.0;
+    while (true) {
+      const game_state state =
+          make_state(row_c ? action::cooperate : action::defect,
+                     col_c ? action::cooperate : action::defect);
+      payoff += v[static_cast<std::size_t>(state)];
+      if (!gen.next_bernoulli(rdg.delta)) break;
+      const bool next_row =
+          flip(gen.next_bernoulli(row.response(state)));
+      const bool next_col =
+          flip(gen.next_bernoulli(col.response(swapped(state))));
+      row_c = next_row;
+      col_c = next_col;
+    }
+    total += payoff;
+  }
+  EXPECT_NEAR(total / trials, exact, 0.05);
+}
+
+TEST(Noise, TftCollapsesGtftRecovers) {
+  // The classic robustness result: under noise, mutual TFT loses most of
+  // the cooperative surplus; GTFT with moderate generosity retains it.
+  const repeated_donation_game rdg{{3.0, 1.0}, 0.95};
+  const double full =
+      expected_payoff(rdg, always_cooperate(), always_cooperate());
+  const double noise = 0.02;
+  const auto noisy_tft = perturbed(tit_for_tat(1.0), noise);
+  const auto noisy_gtft = perturbed(generous_tit_for_tat(0.3, 1.0), noise);
+  const double tft_payoff = expected_payoff(rdg, noisy_tft, noisy_tft);
+  const double gtft_payoff = expected_payoff(rdg, noisy_gtft, noisy_gtft);
+  EXPECT_LT(tft_payoff, 0.8 * full);
+  EXPECT_GT(gtft_payoff, 0.9 * full);
+  EXPECT_GT(gtft_payoff, tft_payoff + 0.1 * full);
+}
+
+TEST(Noise, OptimalGenerosityIncreasesWithNoise) {
+  const repeated_donation_game rdg{{3.0, 1.0}, 0.95};
+  auto best_g = [&](double noise) {
+    double best = 0.0;
+    double best_value = -1e300;
+    for (int i = 0; i <= 50; ++i) {
+      const double g = i / 50.0;
+      const auto s = perturbed(generous_tit_for_tat(g, 1.0), noise);
+      const double value = expected_payoff(rdg, s, s);
+      if (value > best_value) {
+        best_value = value;
+        best = g;
+      }
+    }
+    return best;
+  };
+  EXPECT_LE(best_g(0.005), best_g(0.05));
+  EXPECT_GT(best_g(0.05), 0.0);
+}
+
+TEST(Noise, InvalidInputsThrow) {
+  EXPECT_THROW((void)perturbed(always_cooperate(), -0.1), invariant_error);
+  EXPECT_THROW((void)perturbed(always_cooperate(), 1.5), invariant_error);
+}
+
+igt_equilibrium_analyzer admissible_analyzer(std::size_t k) {
+  const auto instance = make_theorem_2_9_instance(0.2, 0.7, 0.5);
+  return igt_equilibrium_analyzer(instance.setting, 0.1, 0.2, 0.7, k,
+                                  instance.g_max);
+}
+
+TEST(BestResponse, MatchesGridArgmaxUpToGridResolution) {
+  const auto analyzer = admissible_analyzer(16);
+  const auto mu = analyzer.stationary_mu();
+  const double g_star = analyzer.best_response_generosity(mu);
+  const auto de = analyzer.gap(mu);
+  const double grid_best = analyzer.grid()[de.best_level];
+  // Continuous optimum is at least as good as the best grid point and not
+  // far from it.
+  EXPECT_GE(analyzer.payoff_vs_mixture(g_star, mu),
+            de.best_payoff - 1e-12);
+  EXPECT_NEAR(g_star, grid_best, analyzer.grid()[1] - analyzer.grid()[0]);
+}
+
+TEST(BestResponse, IsTopInAdmissibleRegime) {
+  // Within the corrected Theorem 2.9 regime the deviation payoff increases
+  // in g, so the continuous best response is at (or extremely near) g_max.
+  const auto analyzer = admissible_analyzer(8);
+  const auto mu = analyzer.stationary_mu();
+  const double g_star = analyzer.best_response_generosity(mu);
+  EXPECT_NEAR(g_star, analyzer.grid().back(), 1e-6);
+}
+
+TEST(BestResponse, IsZeroInNegativeCoefficientRegime) {
+  // The E5(c) counterexample: negative deviation coefficient makes g = 0
+  // the best response.
+  const rd_setting bad{4.0, 1.0, 0.45, 0.5};
+  const igt_equilibrium_analyzer analyzer(bad, 0.1, 0.2, 0.7, 8, 0.9);
+  const auto mu = analyzer.stationary_mu();
+  EXPECT_NEAR(analyzer.best_response_generosity(mu), 0.0, 1e-6);
+}
+
+TEST(BestResponse, DistanceToMeanShrinkWithK) {
+  // |g_avg - g*| = O(1/k): the proof skeleton of Theorem 2.9.
+  const auto instance = make_theorem_2_9_instance(0.2, 0.7, 0.5);
+  double previous = 1e300;
+  for (const std::size_t k : {4u, 16u, 64u}) {
+    const igt_equilibrium_analyzer analyzer(instance.setting, 0.1, 0.2, 0.7,
+                                            k, instance.g_max);
+    const auto mu = analyzer.stationary_mu();
+    const double g_star = analyzer.best_response_generosity(mu);
+    const double g_avg = average_stationary_generosity(0.2, k, instance.g_max);
+    const double distance = std::abs(g_avg - g_star);
+    EXPECT_LT(distance, previous);
+    previous = distance;
+  }
+  EXPECT_LT(previous, 0.02);
+}
+
+}  // namespace
+}  // namespace ppg

@@ -1,0 +1,120 @@
+// Monte-Carlo rollouts of repeated games cross-validated against the exact
+// payoff oracle.
+#include <gtest/gtest.h>
+
+#include "ppg/games/closed_form.hpp"
+#include "ppg/games/rollout.hpp"
+#include "ppg/util/error.hpp"
+
+namespace ppg {
+namespace {
+
+TEST(Rollout, RoundCountIsGeometric) {
+  const repeated_donation_game rdg{{3.0, 1.0}, 0.75};
+  rng gen(71);
+  running_summary rounds;
+  for (int i = 0; i < 50000; ++i) {
+    rounds.add(static_cast<double>(
+        play_repeated_game(rdg, always_cooperate(), always_defect(), gen)
+            .rounds));
+  }
+  // Expected rounds: 1/(1 - delta) = 4.
+  EXPECT_NEAR(rounds.mean(), 4.0, 4.0 * rounds.ci_half_width());
+}
+
+TEST(Rollout, AtLeastOneRoundAlwaysPlayed) {
+  const repeated_donation_game rdg{{3.0, 1.0}, 0.0};
+  rng gen(72);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(
+        play_repeated_game(rdg, always_defect(), always_defect(), gen).rounds,
+        1u);
+  }
+}
+
+TEST(Rollout, DeterministicPairingExactPayoffs) {
+  // AD vs AC with delta = 0: exactly one round, payoffs (b, -c).
+  const repeated_donation_game rdg{{3.0, 1.0}, 0.0};
+  rng gen(73);
+  const auto result =
+      play_repeated_game(rdg, always_defect(), always_cooperate(), gen);
+  EXPECT_DOUBLE_EQ(result.row_payoff, 3.0);
+  EXPECT_DOUBLE_EQ(result.col_payoff, -1.0);
+  EXPECT_EQ(result.row_cooperations, 0u);
+  EXPECT_EQ(result.col_cooperations, 1u);
+}
+
+TEST(Rollout, MonteCarloMatchesExactEngineAcVsAd) {
+  const repeated_donation_game rdg{{3.0, 1.0}, 0.6};
+  rng gen(74);
+  const auto estimate =
+      estimate_payoff(rdg, always_cooperate(), always_defect(), 60000, gen);
+  const double exact =
+      expected_payoff(rdg, always_cooperate(), always_defect());
+  EXPECT_NEAR(estimate.mean(), exact, 4.0 * estimate.ci_half_width());
+}
+
+TEST(Rollout, MonteCarloMatchesExactEngineGtftPairs) {
+  const rd_setting s{3.0, 1.0, 0.7, 0.8};
+  const repeated_donation_game rdg = s.to_game();
+  rng gen(75);
+  const auto row = generous_tit_for_tat(0.3, s.s1);
+  const auto col = generous_tit_for_tat(0.6, s.s1);
+  const auto estimate = estimate_payoff(rdg, row, col, 80000, gen);
+  EXPECT_NEAR(estimate.mean(), f_gtft_vs_gtft(s, 0.3, 0.6),
+              4.0 * estimate.ci_half_width());
+}
+
+TEST(Rollout, MonteCarloMatchesExactEngineGtftVsAd) {
+  const rd_setting s{3.0, 1.0, 0.7, 0.8};
+  rng gen(76);
+  const auto estimate = estimate_payoff(
+      s.to_game(), generous_tit_for_tat(0.5, s.s1), always_defect(), 80000,
+      gen);
+  EXPECT_NEAR(estimate.mean(), f_gtft_vs_ad(s, 0.5),
+              4.0 * estimate.ci_half_width());
+}
+
+TEST(Rollout, MonteCarloMatchesExactEngineWsls) {
+  // Exercise a non-reactive strategy through the same machinery.
+  const repeated_donation_game rdg{{4.0, 1.0}, 0.8};
+  rng gen(77);
+  const auto estimate = estimate_payoff(rdg, win_stay_lose_shift(0.9),
+                                        tit_for_tat(0.5), 80000, gen);
+  const double exact =
+      expected_payoff(rdg, win_stay_lose_shift(0.9), tit_for_tat(0.5));
+  EXPECT_NEAR(estimate.mean(), exact, 4.0 * estimate.ci_half_width());
+}
+
+TEST(Rollout, CooperationCountsMatchRate) {
+  const repeated_donation_game rdg{{3.0, 1.0}, 0.85};
+  rng gen(78);
+  const auto row = generous_tit_for_tat(0.2, 1.0);
+  const auto col = always_defect();
+  double coop_rounds = 0.0;
+  double total_rounds = 0.0;
+  for (int i = 0; i < 60000; ++i) {
+    const auto result = play_repeated_game(rdg, row, col, gen);
+    coop_rounds += static_cast<double>(result.row_cooperations);
+    total_rounds += static_cast<double>(result.rounds);
+  }
+  // Expected cooperation mass per game / expected rounds per game.
+  const double exact_rate = cooperation_rate(rdg, row, col);
+  EXPECT_NEAR(coop_rounds / total_rounds, exact_rate, 0.01);
+}
+
+TEST(Rollout, InvalidInputsThrow) {
+  rng gen(79);
+  const repeated_donation_game bad_delta{{3.0, 1.0}, 1.0};
+  EXPECT_THROW((void)play_repeated_game(bad_delta, always_cooperate(),
+                                        always_cooperate(), gen),
+               invariant_error);
+  const repeated_donation_game rdg{{3.0, 1.0}, 0.5};
+  EXPECT_THROW(
+      (void)estimate_payoff(rdg, always_cooperate(), always_cooperate(), 0,
+                            gen),
+      invariant_error);
+}
+
+}  // namespace
+}  // namespace ppg

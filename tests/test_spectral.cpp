@@ -1,0 +1,124 @@
+// Tests for the spectral-gap machinery: SLEM estimation on chains with
+// known spectra, and the relaxation-time mixing brackets.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ppg/ehrenfest/exact_chain.hpp"
+#include "ppg/markov/mixing.hpp"
+#include "ppg/markov/random_walk.hpp"
+#include "ppg/markov/spectral.hpp"
+#include "ppg/markov/stationary.hpp"
+#include "ppg/util/error.hpp"
+
+namespace ppg {
+namespace {
+
+finite_chain lazy_two_state(double p, double q) {
+  finite_chain chain(2);
+  chain.add_transition(0, 1, p);
+  chain.add_transition(0, 0, 1.0 - p);
+  chain.add_transition(1, 0, q);
+  chain.add_transition(1, 1, 1.0 - q);
+  return chain;
+}
+
+TEST(Spectral, TwoStateClosedForm) {
+  // Eigenvalues of the 2-state chain are 1 and 1 - p - q.
+  const double p = 0.2;
+  const double q = 0.3;
+  const auto chain = lazy_two_state(p, q);
+  const auto pi = solve_stationary(chain);
+  const auto spectral = estimate_slem(chain, pi);
+  EXPECT_TRUE(spectral.converged);
+  EXPECT_NEAR(spectral.slem, 1.0 - p - q, 1e-9);
+  EXPECT_NEAR(spectral.relaxation_time, 1.0 / (p + q), 1e-6);
+}
+
+TEST(Spectral, RandomWalkOnCompleteGraphLazy) {
+  // Lazy uniform chain: P = (1-r) I + r * (uniform). Second eigenvalue is
+  // 1 - r (multiplicity n-1).
+  const std::size_t n = 6;
+  const double r = 0.4;
+  finite_chain chain(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    chain.add_transition(i, i, 1.0 - r);
+    for (std::size_t j = 0; j < n; ++j) {
+      chain.add_transition(i, j, r / static_cast<double>(n));
+    }
+  }
+  const std::vector<double> pi(n, 1.0 / static_cast<double>(n));
+  const auto spectral = estimate_slem(chain, pi);
+  EXPECT_NEAR(spectral.slem, 1.0 - r, 1e-9);
+}
+
+TEST(Spectral, RejectsNonReversibleChain) {
+  // A 3-cycle with clockwise drift is not reversible.
+  finite_chain chain(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    chain.add_transition(i, (i + 1) % 3, 0.6);
+    chain.add_transition(i, (i + 2) % 3, 0.1);
+    chain.add_transition(i, i, 0.3);
+  }
+  const std::vector<double> pi(3, 1.0 / 3.0);
+  EXPECT_THROW((void)estimate_slem(chain, pi), invariant_error);
+}
+
+TEST(Spectral, ReflectingWalkGapShrinksWithSize) {
+  // Larger intervals relax more slowly.
+  const walk_params params{0.25, 0.25};
+  double previous_gap = 1.0;
+  for (const std::size_t size : {3u, 6u, 12u}) {
+    const auto chain = reflecting_walk_chain(size, params);
+    const auto pi = reflecting_walk_stationary(size, params);
+    const auto spectral = estimate_slem(chain, pi);
+    EXPECT_LT(spectral.spectral_gap, previous_gap);
+    previous_gap = spectral.spectral_gap;
+  }
+}
+
+TEST(Spectral, RelaxationBracketsMeasuredMixing) {
+  // For the exact Ehrenfest chain, the measured t_mix must lie within the
+  // relaxation-time bracket.
+  const ehrenfest_params params{3, 0.3, 0.15, 8};
+  const simplex_index index(params.k, params.m);
+  const auto chain = build_ehrenfest_chain(params, index);
+  const auto pi = exact_stationary_vector(params, index);
+  const auto spectral = estimate_slem(chain, pi, 1e-13, 2'000'000);
+  ASSERT_TRUE(spectral.converged);
+  const auto bounds = mixing_bounds_from_relaxation(spectral, pi);
+  const auto corners = find_corner_states(index);
+  const auto measured = mixing_time_from_starts(
+      chain, {corners.bottom, corners.top}, pi, 0.25, 10'000'000);
+  EXPECT_GE(static_cast<double>(measured), bounds.lower * 0.999);
+  EXPECT_LE(static_cast<double>(measured), bounds.upper * 1.001);
+}
+
+TEST(Spectral, EhrenfestGapMatchesBirthDeathStructure) {
+  // For k = 2 the chain is birth-death; the spectral gap of the classic
+  // symmetric urn with laziness (a = b) is known to be (a + b)/m.
+  const ehrenfest_params params{2, 0.25, 0.25, 10};
+  const simplex_index index(params.k, params.m);
+  const auto chain = build_ehrenfest_chain(params, index);
+  const auto pi = exact_stationary_vector(params, index);
+  const auto spectral = estimate_slem(chain, pi, 1e-13, 2'000'000);
+  EXPECT_NEAR(spectral.spectral_gap,
+              (params.a + params.b) / static_cast<double>(params.m), 1e-6);
+}
+
+TEST(Spectral, MixingBoundsValidation) {
+  spectral_result fake;
+  fake.slem = 0.5;
+  fake.spectral_gap = 0.5;
+  fake.relaxation_time = 2.0;
+  const std::vector<double> pi = {0.5, 0.5};
+  const auto bounds = mixing_bounds_from_relaxation(fake, pi, 0.25);
+  EXPECT_NEAR(bounds.lower, 1.0 * std::log(2.0), 1e-12);
+  EXPECT_NEAR(bounds.upper, 2.0 * std::log(8.0), 1e-12);
+  EXPECT_THROW(
+      (void)mixing_bounds_from_relaxation(fake, pi, 0.0),
+      invariant_error);
+}
+
+}  // namespace
+}  // namespace ppg

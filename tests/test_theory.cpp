@@ -1,0 +1,222 @@
+// Tests for the closed-form theory predictions: Proposition 2.8 (average
+// stationary generosity), Corollary C.1, Proposition D.2 (variance bound),
+// and the Theorem 2.9 regime machinery.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ppg/core/theory.hpp"
+#include "ppg/games/strategy.hpp"
+#include "ppg/stats/distributions.hpp"
+#include "ppg/stats/empirical.hpp"
+#include "ppg/util/error.hpp"
+
+namespace ppg {
+namespace {
+
+// Direct evaluation of the average stationary generosity from its
+// definition: sum_j g_j * mu(j) with mu(j) ∝ lambda^{j-1}.
+double direct_average_generosity(double beta, std::size_t k, double g_max) {
+  const double lambda = (1.0 - beta) / beta;
+  const auto mu = geometric_weights(k, lambda);
+  const auto grid = generosity_grid(k, g_max);
+  return distribution_mean(mu, grid);
+}
+
+TEST(Proposition28, ClosedFormMatchesDirectSum) {
+  for (const double beta : {0.05, 0.2, 0.4, 0.6, 0.8}) {
+    for (const std::size_t k : {2u, 3u, 5u, 10u, 30u}) {
+      for (const double g_max : {0.3, 0.8, 1.0}) {
+        EXPECT_NEAR(average_stationary_generosity(beta, k, g_max),
+                    direct_average_generosity(beta, k, g_max), 1e-9)
+            << "beta=" << beta << " k=" << k << " g_max=" << g_max;
+      }
+    }
+  }
+}
+
+TEST(Proposition28, BalancedPopulationGivesHalf) {
+  EXPECT_DOUBLE_EQ(average_stationary_generosity(0.5, 7, 0.8), 0.4);
+  EXPECT_DOUBLE_EQ(average_stationary_generosity(0.5, 2, 1.0), 0.5);
+}
+
+TEST(Proposition28, ApproachesGMaxForSmallBeta) {
+  // beta << 1/2: average generosity -> g_max at rate O(1/k).
+  const double g_max = 0.9;
+  EXPECT_GT(average_stationary_generosity(0.1, 50, g_max), 0.97 * g_max);
+  EXPECT_LT(average_stationary_generosity(0.9, 50, g_max), 0.03 * g_max);
+}
+
+TEST(Proposition28, MonotoneInK) {
+  // For beta < 1/2, more levels mean a higher average stationary
+  // generosity.
+  double previous = 0.0;
+  for (const std::size_t k : {2u, 4u, 8u, 16u, 32u}) {
+    const double g = average_stationary_generosity(0.25, k, 1.0);
+    EXPECT_GT(g, previous);
+    previous = g;
+  }
+}
+
+TEST(CorollaryC1, LowerBoundHolds) {
+  for (const double beta : {0.05, 0.15, 0.3, 0.45}) {
+    for (const std::size_t k : {2u, 4u, 10u, 40u}) {
+      const double exact = average_stationary_generosity(beta, k, 0.9);
+      const double bound = average_generosity_lower_bound(beta, k, 0.9);
+      EXPECT_GE(exact + 1e-12, bound) << "beta=" << beta << " k=" << k;
+    }
+  }
+}
+
+TEST(CorollaryC1, RequiresBetaBelowHalf) {
+  EXPECT_THROW((void)average_generosity_lower_bound(0.5, 5, 1.0),
+               invariant_error);
+  EXPECT_THROW((void)average_generosity_lower_bound(0.7, 5, 1.0),
+               invariant_error);
+}
+
+TEST(CorollaryC1, OneOverKDecay) {
+  // 1 - g_avg/g_max decays as Theta(1/k) for fixed lambda > 1: the product
+  // k * (1 - g_avg/g_max) should stabilize to a constant.
+  const double beta = 0.25;  // lambda = 3
+  double previous_product = 0.0;
+  for (const std::size_t k : {8u, 16u, 32u, 64u}) {
+    const double gap =
+        1.0 - average_stationary_generosity(beta, k, 1.0);
+    const double product = gap * static_cast<double>(k);
+    if (previous_product > 0.0) {
+      EXPECT_NEAR(product, previous_product, 0.15 * previous_product);
+    }
+    previous_product = product;
+  }
+}
+
+TEST(PropositionD2, VarianceBoundHolds) {
+  // The bound 16/(k-1)^2 must dominate the exact variance in the lambda >= 2
+  // regime (beta <= 1/3), normalized as in the proposition (g in [0, g_max],
+  // g_max <= 1).
+  for (const double beta : {0.05, 0.15, 0.25, 1.0 / 3.0}) {
+    for (const std::size_t k : {2u, 3u, 5u, 10u, 25u}) {
+      const double exact = stationary_generosity_variance(beta, k, 1.0);
+      EXPECT_LE(exact, generosity_variance_bound(k))
+          << "beta=" << beta << " k=" << k;
+    }
+  }
+}
+
+TEST(PropositionD2, VarianceDecaysQuadratically) {
+  const double beta = 0.2;
+  for (const std::size_t k : {4u, 8u, 16u, 32u}) {
+    const double var_k = stationary_generosity_variance(beta, k, 1.0);
+    const double var_2k = stationary_generosity_variance(beta, 2 * k, 1.0);
+    // Doubling k should cut variance by roughly 4 (within a factor 2).
+    EXPECT_LT(var_2k, var_k / 2.0);
+  }
+}
+
+TEST(Theorem29Conditions, KnownGoodConfiguration) {
+  // A strongly cooperative configuration: few defectors, large reward
+  // ratio, moderate delta.
+  const rd_setting setting{16.0, 1.0, 0.5, 0.5};
+  const auto cond = check_theorem_2_9(setting, 0.1, 0.6, 0.2);
+  EXPECT_TRUE(cond.s1_ok);
+  EXPECT_TRUE(cond.lambda_ok);
+  EXPECT_TRUE(cond.reward_ratio_ok);
+  EXPECT_TRUE(cond.delta_ok) << "delta limit " << cond.delta_limit;
+  EXPECT_TRUE(cond.g_max_ok) << "g_max limit " << cond.g_max_limit;
+  EXPECT_TRUE(cond.deviation_gain_ok)
+      << "coefficient " << cond.deviation_coefficient;
+  EXPECT_TRUE(cond.all());
+}
+
+TEST(Theorem29Conditions, LiteralConditionsAdmitNonDecayingInstances) {
+  // Reproduction finding (EXPERIMENTS.md, E5): this instance satisfies every
+  // constraint printed in Theorem 2.9, yet the corrected deviation
+  // coefficient is negative — generosity is locally *harmful* against the
+  // most generous opponent (g_max = 0.9 with delta = 0.45), the best
+  // deviation is g = 0, and Psi does not decay with k. The corrected
+  // condition flags it.
+  const rd_setting setting{4.0, 1.0, 0.45, 0.5};
+  const auto cond = check_theorem_2_9(setting, 0.2, 0.7, 0.9);
+  EXPECT_TRUE(cond.paper_conditions());
+  EXPECT_FALSE(cond.deviation_gain_ok);
+  EXPECT_LT(cond.deviation_coefficient, 0.0);
+  EXPECT_FALSE(cond.all());
+}
+
+TEST(Theorem29Conditions, LambdaFailsForLargeBeta) {
+  const rd_setting setting{16.0, 1.0, 0.5, 0.5};
+  const auto cond = check_theorem_2_9(setting, 0.4, 0.5, 0.2);
+  EXPECT_FALSE(cond.lambda_ok);  // lambda = 1.5 < 2
+}
+
+TEST(Theorem29Conditions, RewardRatioFails) {
+  const rd_setting setting{1.5, 1.0, 0.5, 0.5};
+  const auto cond = check_theorem_2_9(setting, 0.2, 0.5, 0.2);
+  EXPECT_FALSE(cond.reward_ratio_ok);
+}
+
+TEST(Theorem29Conditions, DeltaLimitMonotoneInBeta) {
+  // More defectors tighten the delta constraint.
+  const rd_setting setting{16.0, 1.0, 0.5, 0.5};
+  const auto loose = check_theorem_2_9(setting, 0.05, 0.6, 0.2);
+  const auto tight = check_theorem_2_9(setting, 0.3, 0.6, 0.2);
+  EXPECT_GT(loose.delta_limit, tight.delta_limit);
+}
+
+TEST(Theorem29Conditions, InvalidInputsThrow) {
+  const rd_setting setting{16.0, 1.0, 0.5, 0.5};
+  EXPECT_THROW((void)check_theorem_2_9(setting, 0.0, 0.6, 0.2),
+               invariant_error);
+  EXPECT_THROW((void)check_theorem_2_9(setting, 0.2, 0.0, 0.2),
+               invariant_error);
+  EXPECT_THROW((void)check_theorem_2_9(setting, 0.2, 0.6, 1.5),
+               invariant_error);
+}
+
+TEST(Theorem29Instance, SearchFindsValidConfigurations) {
+  for (const double beta : {0.05, 0.15, 0.25, 1.0 / 3.0}) {
+    const double gamma = (1.0 - beta) * 0.8;  // leave some AC agents
+    const auto instance = make_theorem_2_9_instance(beta, gamma, 0.5);
+    const auto cond =
+        check_theorem_2_9(instance.setting, beta, gamma, instance.g_max);
+    EXPECT_TRUE(cond.all()) << "beta=" << beta;
+    EXPECT_GT(instance.g_max, 0.0);
+    EXPECT_TRUE(instance.setting.valid());
+  }
+}
+
+TEST(Theorem29Instance, RejectsLargeBeta) {
+  EXPECT_THROW((void)make_theorem_2_9_instance(0.4, 0.5, 0.5),
+               invariant_error);
+}
+
+// Parameterized sweep of Proposition 2.8 against a brute-force weighted sum
+// with explicit (non-normalized) lambda powers.
+class AverageGenerositySweep
+    : public ::testing::TestWithParam<std::tuple<double, std::size_t>> {};
+
+TEST_P(AverageGenerositySweep, BruteForceAgreement) {
+  const auto [beta, k] = GetParam();
+  const double g_max = 0.85;
+  const double lambda = (1.0 - beta) / beta;
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t j = 1; j <= k; ++j) {
+    const double w = std::pow(lambda, static_cast<double>(j - 1));
+    num += g_max * static_cast<double>(j - 1) /
+           static_cast<double>(k - 1) * w;
+    den += w;
+  }
+  EXPECT_NEAR(average_stationary_generosity(beta, k, g_max), num / den,
+              1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BetaK, AverageGenerositySweep,
+    ::testing::Combine(::testing::Values(0.1, 0.3, 0.45, 0.55, 0.7),
+                       ::testing::Values(std::size_t{2}, std::size_t{4},
+                                         std::size_t{9}, std::size_t{17})));
+
+}  // namespace
+}  // namespace ppg

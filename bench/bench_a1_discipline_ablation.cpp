@@ -8,8 +8,8 @@
 
 #include "ppg/core/igt_count_chain.hpp"
 #include "ppg/core/igt_protocol.hpp"
+#include "ppg/exp/replicate.hpp"
 #include "ppg/stats/empirical.hpp"
-#include "ppg/stats/summary.hpp"
 #include "ppg/util/table.hpp"
 
 namespace {
@@ -18,12 +18,11 @@ using namespace ppg;
 
 std::vector<double> stationary_census(const abg_population& pop,
                                       std::size_t k,
-                                      igt_discipline discipline,
-                                      std::uint64_t seed) {
+                                      igt_discipline discipline, rng gen) {
   const igt_protocol proto(k, discipline);
   simulation sim(proto,
                  population(make_igt_population_states(pop, k, 0), 2 + k),
-                 rng(seed), pair_sampling::with_replacement);
+                 gen, pair_sampling::with_replacement);
   sim.run(400'000);
   std::vector<double> occupancy(k, 0.0);
   const std::uint64_t samples = 400'000;
@@ -40,8 +39,8 @@ std::vector<double> stationary_census(const abg_population& pop,
   return occupancy;
 }
 
-std::uint64_t hitting_time(const abg_population& pop, std::size_t k,
-                           igt_discipline discipline, std::uint64_t seed) {
+double hitting_time(const abg_population& pop, std::size_t k,
+                    igt_discipline discipline, rng& gen) {
   const auto probs = igt_stationary_probs(pop, k);
   double target = 0.0;
   for (std::size_t j = 0; j < k; ++j) {
@@ -51,7 +50,7 @@ std::uint64_t hitting_time(const abg_population& pop, std::size_t k,
   const igt_protocol proto(k, discipline);
   simulation sim(proto,
                  population(make_igt_population_states(pop, k, 0), 2 + k),
-                 rng(seed), pair_sampling::with_replacement);
+                 gen.split(), pair_sampling::with_replacement);
   for (std::uint64_t t = 1; t <= 100'000'000; ++t) {
     sim.step();
     if (t % 32 != 0) continue;
@@ -60,9 +59,22 @@ std::uint64_t hitting_time(const abg_population& pop, std::size_t k,
     for (std::size_t j = 0; j < k; ++j) {
       mean_level += static_cast<double>(j) * static_cast<double>(census[j]);
     }
-    if (mean_level / static_cast<double>(pop.num_gtft) >= target) return t;
+    if (mean_level / static_cast<double>(pop.num_gtft) >= target) {
+      return static_cast<double>(t);
+    }
   }
-  return 100'000'000;
+  return 100'000'000.0;
+}
+
+// Mean hitting time over independent replicas, fanned across the batch
+// engine's worker pool.
+double mean_hitting_time(const abg_population& pop, std::size_t k,
+                         igt_discipline discipline, std::uint64_t master) {
+  return replicate_scalar({6, master, 0},
+                          [&](const replica_context&, rng& gen) {
+                            return hitting_time(pop, k, discipline, gen);
+                          })
+      .mean();
 }
 
 }  // namespace
@@ -78,8 +90,10 @@ int main() {
     const auto pop =
         abg_population::from_fractions(300, 0.1, beta, 0.9 - beta);
     const auto expected = igt_stationary_probs(pop, k);
-    const auto one = stationary_census(pop, k, igt_discipline::one_way, 31);
-    const auto two = stationary_census(pop, k, igt_discipline::two_way, 32);
+    const auto one =
+        stationary_census(pop, k, igt_discipline::one_way, rng(31));
+    const auto two =
+        stationary_census(pop, k, igt_discipline::two_way, rng(32));
     census_table.add_row({fmt(pop.beta(), 2),
                           fmt(total_variation(one, expected), 4),
                           fmt(total_variation(two, expected), 4)});
@@ -87,23 +101,16 @@ int main() {
   census_table.print(std::cout);
 
   std::cout << "\n(b) convergence speedup (hitting-time proxy, mean of 6 "
-               "seeds)\n";
+               "replicas)\n";
   text_table speed_table({"n", "one-way", "two-way", "speedup"});
   for (const std::size_t n : {300u, 600u, 1200u}) {
     const auto pop = abg_population::from_fractions(n, 0.1, 0.2, 0.7);
-    running_summary one;
-    running_summary two;
-    for (std::uint64_t s = 0; s < 6; ++s) {
-      one.add(static_cast<double>(
-          hitting_time(pop, k, igt_discipline::one_way, 40 + s)));
-      two.add(static_cast<double>(
-          hitting_time(pop, k, igt_discipline::two_way, 50 + s)));
-    }
-    speed_table.add_row(
-        {std::to_string(n),
-         fmt_count(static_cast<std::uint64_t>(one.mean())),
-         fmt_count(static_cast<std::uint64_t>(two.mean())),
-         fmt(one.mean() / two.mean(), 2)});
+    const double one = mean_hitting_time(pop, k, igt_discipline::one_way, 40);
+    const double two = mean_hitting_time(pop, k, igt_discipline::two_way, 50);
+    speed_table.add_row({std::to_string(n),
+                         fmt_count(static_cast<std::uint64_t>(one)),
+                         fmt_count(static_cast<std::uint64_t>(two)),
+                         fmt(one / two, 2)});
   }
   speed_table.print(std::cout);
 

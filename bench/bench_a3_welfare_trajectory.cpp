@@ -3,11 +3,14 @@
 // climbs the generosity ladder; this bench tracks the population's average
 // generosity and per-interaction welfare over parallel time, across beta
 // regimes — the dynamic picture behind the stationary results of E3/E4.
+// Each curve is the mean over 4 independent replicas run on the batch
+// engine, with a 95% CI band on the welfare column.
 #include <iostream>
 
 #include "ppg/core/equilibrium.hpp"
 #include "ppg/core/igt_protocol.hpp"
 #include "ppg/core/igt_count_chain.hpp"
+#include "ppg/exp/replicate.hpp"
 #include "ppg/util/table.hpp"
 
 int main() {
@@ -23,50 +26,72 @@ int main() {
 
   std::cout << "Game: b = " << setting.b << ", c = " << setting.c
             << ", delta = " << setting.delta << "; n = " << n
-            << ", k = " << k << ", all GTFT agents start at g = 0\n\n";
+            << ", k = " << k << ", all GTFT agents start at g = 0;\n"
+            << "4 replicas per beta, welfare shown as mean with a 95% CI "
+               "half-width\n\n";
+
+  const std::uint64_t horizon = 60 * n;  // 60 units of parallel time
+  const std::uint64_t stride = 6 * n;
+  const std::size_t points = static_cast<std::size_t>(horizon / stride) + 1;
 
   for (const double beta : {0.1, 0.3, 0.6}) {
     const double alpha = 0.1;
     const auto pop =
         abg_population::from_fractions(n, alpha, beta, 0.9 - beta);
     const igt_protocol proto(k);
-    simulation sim(proto,
-                   population(make_igt_population_states(pop, k, 0), 2 + k),
-                   rng(2025), pair_sampling::with_replacement);
+    const sim_spec spec(
+        proto, population(make_igt_population_states(pop, k, 0), 2 + k),
+        pair_sampling::with_replacement);
+
+    // One replica: the generosity trace followed by the welfare trace,
+    // sampled on the shared time grid.
+    const auto batch = replicate_trajectory(
+        {4, 2025, 0}, [&](const replica_context&, rng& gen) {
+          simulation sim = spec.instantiate(gen);
+          std::vector<double> trace;
+          trace.reserve(2 * points);
+          std::vector<double> welfare_trace;
+          welfare_trace.reserve(points);
+          for (std::uint64_t t = 0; t <= horizon; t += stride) {
+            if (t > 0) sim.run(stride);
+            const auto census = gtft_level_counts(sim.agents(), k);
+            std::vector<double> mu(k);
+            double avg_g = 0.0;
+            for (std::size_t j = 0; j < k; ++j) {
+              mu[j] = static_cast<double>(census[j]) /
+                      static_cast<double>(pop.num_gtft);
+              avg_g += grid[j] * mu[j];
+            }
+            const auto mu_hat = induced_full_distribution(
+                mu, pop.alpha(), pop.beta(), pop.gamma());
+            trace.push_back(avg_g);
+            welfare_trace.push_back(population_welfare(payoffs, mu_hat) /
+                                    setting.to_game().expected_rounds());
+          }
+          trace.insert(trace.end(), welfare_trace.begin(),
+                       welfare_trace.end());
+          return trace;
+        });
+
+    const auto mean = batch.mean_curve();
+    const auto band = batch.ci_band();
+    double peak_welfare = 0.0;
+    for (std::size_t i = 0; i < points; ++i) {
+      peak_welfare = std::max(peak_welfare, mean[points + i]);
+    }
 
     std::cout << "beta = " << fmt(pop.beta(), 2)
               << " (lambda = " << fmt(pop.lambda(), 2) << ")\n";
     text_table table({"parallel time", "avg generosity", "welfare/round",
-                      "welfare bar"});
-    const std::uint64_t horizon = 60 * n;  // 60 units of parallel time
-    const std::uint64_t stride = 6 * n;
-    double peak_welfare = 0.0;
-    std::vector<std::vector<std::string>> rows;
-    for (std::uint64_t t = 0; t <= horizon; t += stride) {
-      if (t > 0) sim.run(stride);
-      const auto census = gtft_level_counts(sim.agents(), k);
-      std::vector<double> mu(k);
-      double avg_g = 0.0;
-      for (std::size_t j = 0; j < k; ++j) {
-        mu[j] = static_cast<double>(census[j]) /
-                static_cast<double>(pop.num_gtft);
-        avg_g += grid[j] * mu[j];
-      }
-      const auto mu_hat = induced_full_distribution(
-          mu, pop.alpha(), pop.beta(), pop.gamma());
-      const double welfare = population_welfare(payoffs, mu_hat) /
-                             setting.to_game().expected_rounds();
-      peak_welfare = std::max(peak_welfare, welfare);
-      rows.push_back({fmt(static_cast<double>(t) / static_cast<double>(n), 0),
-                      fmt(avg_g, 3), fmt(welfare, 3), ""});
-    }
-    // Render bars relative to the trajectory's peak.
-    for (auto& row : rows) {
-      const double w = std::stod(row[2]);
+                      "95% CI", "welfare bar"});
+    for (std::size_t i = 0; i < points; ++i) {
+      const double w = mean[points + i];
       const auto len = static_cast<std::size_t>(
           std::max(0.0, w / peak_welfare) * 30.0);
-      row[3] = std::string(len, '#');
-      table.add_row(row);
+      table.add_row(
+          {fmt(static_cast<double>(i * stride) / static_cast<double>(n), 0),
+           fmt(mean[i], 3), fmt(w, 3), fmt(band[points + i], 3),
+           std::string(len, '#')});
     }
     table.print(std::cout);
     std::cout << "\n";

@@ -10,8 +10,8 @@
 #include <iostream>
 
 #include "ppg/core/igt_count_chain.hpp"
+#include "ppg/exp/replicate.hpp"
 #include "ppg/stats/empirical.hpp"
-#include "ppg/stats/summary.hpp"
 #include "ppg/util/table.hpp"
 
 namespace {
@@ -23,13 +23,12 @@ using namespace ppg;
 // (The instantaneous census is a random vector; for m balls its TV to the
 // mean is noisy, so tol must be above the sampling noise floor.)
 double census_hitting_time(const abg_population& pop, std::size_t k,
-                           double tol, std::uint64_t seed) {
+                           double tol, rng& gen) {
   const auto probs = igt_stationary_probs(pop, k);
   // Worst corner: all mass at the level with the *least* stationary mass.
   const std::size_t start =
       probs.front() < probs.back() ? 0 : k - 1;
   igt_count_chain chain(pop, k, start);
-  rng gen(seed);
   const std::uint64_t cap = 200'000'000;
   std::vector<double> census(k);
   for (std::uint64_t t = 1; t <= cap; ++t) {
@@ -47,20 +46,21 @@ double census_hitting_time(const abg_population& pop, std::size_t k,
   return static_cast<double>(cap);
 }
 
-double mean_hitting(const abg_population& pop, std::size_t k, int seeds) {
-  running_summary s;
-  for (int i = 0; i < seeds; ++i) {
-    s.add(census_hitting_time(pop, k, 0.1,
-                              1000 + static_cast<std::uint64_t>(i)));
-  }
-  return s.mean();
+// Replicates the hitting-time measurement on the batch engine (one replica
+// per worker-pool slot) and returns the aggregate.
+scalar_aggregator replicated_hitting(const abg_population& pop, std::size_t k,
+                                     std::size_t replicas) {
+  return replicate_scalar(
+      {replicas, 1000, 0}, [&](const replica_context&, rng& gen) {
+        return census_hitting_time(pop, k, 0.1, gen);
+      });
 }
 
 }  // namespace
 
 int main() {
   std::cout << "=== E11: k-IGT mixing-time scaling (Theorem 2.7) ===\n\n";
-  constexpr int seeds = 6;
+  constexpr std::size_t replicas = 6;
 
   std::cout << "(a) scaling in k (n = 1000, beta = 0.2): time/k should "
                "stabilize between the bounds\n";
@@ -68,7 +68,7 @@ int main() {
                       "upper bound"});
   const auto pop = abg_population::from_fractions(1000, 0.1, 0.2, 0.7);
   for (const std::size_t k : {2u, 4u, 8u, 16u}) {
-    const double t = mean_hitting(pop, k, seeds);
+    const double t = replicated_hitting(pop, k, replicas).mean();
     k_table.add_row(
         {std::to_string(k), fmt_count(static_cast<std::uint64_t>(t)),
          fmt(t / static_cast<double>(k), 0),
@@ -84,7 +84,7 @@ int main() {
   text_table n_table({"n", "hitting time", "time/(n log n)"});
   for (const std::size_t n : {250u, 500u, 1000u, 2000u, 4000u}) {
     const auto pop_n = abg_population::from_fractions(n, 0.1, 0.2, 0.7);
-    const double t = mean_hitting(pop_n, 6, seeds);
+    const double t = replicated_hitting(pop_n, 6, replicas).mean();
     n_table.add_row(
         {std::to_string(n), fmt_count(static_cast<std::uint64_t>(t)),
          fmt(t / (static_cast<double>(n) * std::log(static_cast<double>(n))),
@@ -99,7 +99,7 @@ int main() {
   for (const double beta : {0.1, 0.2, 0.3, 0.4, 0.45, 0.5, 0.6, 0.7}) {
     const auto pop_b =
         abg_population::from_fractions(1000, 0.1, beta, 0.9 - beta);
-    const double t = mean_hitting(pop_b, 8, seeds);
+    const double t = replicated_hitting(pop_b, 8, replicas).mean();
     const double gap = std::abs(1.0 - 2.0 * pop_b.beta());
     const double factor =
         gap < 1e-12 ? 64.0 : std::min(8.0 / gap, 64.0);

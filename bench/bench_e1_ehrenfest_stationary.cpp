@@ -13,11 +13,46 @@
 #include "ppg/ehrenfest/coordinate_walk.hpp"
 #include "ppg/ehrenfest/exact_chain.hpp"
 #include "ppg/ehrenfest/stationary.hpp"
+#include "ppg/exp/replicate.hpp"
 #include "ppg/markov/stationary.hpp"
 #include "ppg/stats/chi_square.hpp"
 #include "ppg/stats/empirical.hpp"
 #include "ppg/util/table.hpp"
 #include "ppg/util/timer.hpp"
+
+namespace {
+
+// One replica of the part-(b) measurement: burn in, time-average the urn
+// occupancy, then append decorrelated pooled snapshots for the chi-square
+// test. Returns occupancy fractions followed by the pooled counts (the
+// batch aggregator consumes one flat vector per replica).
+std::vector<double> occupancy_replica(const ppg::ehrenfest_params& params,
+                                      ppg::rng& gen, std::uint64_t samples,
+                                      int snapshots) {
+  using namespace ppg;
+  coordinate_walk walk(params, 0);
+  const std::uint64_t burn = 400ull * params.m * params.k;
+  walk.run(burn, gen);
+  std::vector<double> result(2 * params.k, 0.0);
+  for (std::uint64_t i = 0; i < samples; ++i) {
+    walk.step(gen);
+    for (std::size_t j = 0; j < params.k; ++j) {
+      result[j] += static_cast<double>(walk.counts()[j]);
+    }
+  }
+  for (std::size_t j = 0; j < params.k; ++j) {
+    result[j] /= static_cast<double>(samples) * static_cast<double>(params.m);
+  }
+  for (int s = 0; s < snapshots; ++s) {
+    walk.run(20ull * params.m, gen);
+    for (std::size_t j = 0; j < params.k; ++j) {
+      result[params.k + j] += static_cast<double>(walk.counts()[j]);
+    }
+  }
+  return result;
+}
+
+}  // namespace
 
 int main() {
   using namespace ppg;
@@ -44,43 +79,42 @@ int main() {
   }
   exact_table.print(std::cout);
 
-  std::cout << "\n(b) simulation: long-run urn occupancy vs closed form\n";
+  std::cout << "\n(b) simulation: long-run urn occupancy vs closed form "
+               "(4 replicas each)\n";
   text_table sim_table({"k", "m", "lambda", "samples", "TV(occupancy)",
                         "chi2 p-value", "sim seconds"});
-  rng gen(42);
+  constexpr std::size_t replicas = 4;
   for (const auto& params :
        {ehrenfest_params{2, 0.3, 0.15, 100}, ehrenfest_params{4, 0.3, 0.15, 100},
         ehrenfest_params{8, 0.3, 0.15, 100}, ehrenfest_params{8, 0.15, 0.3, 100},
         ehrenfest_params{16, 0.25, 0.25, 200},
         ehrenfest_params{16, 0.28, 0.14, 200}}) {
     timer clock;
-    coordinate_walk walk(params, 0);
-    const std::uint64_t burn = 400ull * params.m * params.k;
-    walk.run(burn, gen);
-    std::vector<double> occupancy(params.k, 0.0);
+    const std::uint64_t samples = 100'000;  // per replica
+    constexpr int snapshots = 75;           // per replica
+    const auto results = batch_runner({replicas, 42, 0})
+                             .run([&](const replica_context&, rng& gen) {
+                               return occupancy_replica(params, gen, samples,
+                                                        snapshots);
+                             });
+    // The replica average of the first k coordinates is the occupancy
+    // estimate; the pooled snapshot counts (exact integers stored as
+    // doubles) add across replicas.
+    census_aggregator occupancy_agg;
     std::vector<std::uint64_t> pooled(params.k, 0);
-    const std::uint64_t samples = 400'000;
-    for (std::uint64_t i = 0; i < samples; ++i) {
-      walk.step(gen);
+    for (const auto& result : results) {
+      occupancy_agg.add(std::vector<double>(
+          result.begin(), result.begin() + static_cast<long>(params.k)));
       for (std::size_t j = 0; j < params.k; ++j) {
-        occupancy[j] += static_cast<double>(walk.counts()[j]);
+        pooled[j] += static_cast<std::uint64_t>(result[params.k + j]);
       }
     }
-    // Pool decorrelated snapshots for the chi-square test.
-    constexpr int snapshots = 300;
-    for (int s = 0; s < snapshots; ++s) {
-      walk.run(20ull * params.m, gen);
-      for (std::size_t j = 0; j < params.k; ++j) {
-        pooled[j] += walk.counts()[j];
-      }
-    }
-    for (auto& x : occupancy) {
-      x /= static_cast<double>(samples) * static_cast<double>(params.m);
-    }
+    const auto occupancy = occupancy_agg.mean();
     const auto expected = ehrenfest_stationary_probs(params);
     const auto gof = chi_square_gof(pooled, expected);
     sim_table.add_row({std::to_string(params.k), std::to_string(params.m),
-                       fmt(params.lambda(), 2), fmt_count(samples),
+                       fmt(params.lambda(), 2),
+                       fmt_count(samples * replicas),
                        fmt(total_variation(occupancy, expected), 4),
                        fmt(gof.p_value, 3), fmt(clock.seconds(), 2)});
   }

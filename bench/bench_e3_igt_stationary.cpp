@@ -3,12 +3,14 @@
 // stationary distribution is multinomial with p_j ∝ (1/beta - 1)^{j-1}.
 //
 // The full agent-level population protocol is simulated (both pair-sampling
-// disciplines) and the time-averaged census is compared to the closed form
-// across beta regimes.
+// disciplines, four independent replicas each on the batch engine) and the
+// replica-averaged census is compared to the closed form across beta
+// regimes.
 #include <iostream>
 
 #include "ppg/core/igt_count_chain.hpp"
 #include "ppg/core/igt_protocol.hpp"
+#include "ppg/exp/replicate.hpp"
 #include "ppg/stats/empirical.hpp"
 #include "ppg/util/table.hpp"
 #include "ppg/util/timer.hpp"
@@ -33,6 +35,16 @@ std::vector<double> time_averaged_census(ppg::simulation& sim, std::size_t k,
   return occupancy;
 }
 
+// One replica: burn in past the mixing bound, then time-average the census.
+std::vector<double> replica_census(const ppg::sim_spec& spec, ppg::rng& gen,
+                                   std::size_t k, std::uint64_t burn,
+                                   std::uint64_t samples,
+                                   std::uint64_t gtft_count) {
+  ppg::simulation sim = spec.instantiate(gen);
+  sim.run(burn);
+  return time_averaged_census(sim, k, samples, gtft_count);
+}
+
 }  // namespace
 
 int main() {
@@ -47,28 +59,35 @@ int main() {
 
   text_table table({"beta", "lambda", "sampling", "TV(census, Thm 2.7)",
                     "top-level mass (sim)", "top-level mass (theory)",
-                    "seconds"});
+                    "top-level CI", "seconds"});
+  constexpr std::size_t replicas = 4;
   for (const double beta : {0.1, 0.2, 1.0 / 3.0, 0.5, 0.7}) {
     const double alpha = 0.1;
     const auto pop = abg_population::from_fractions(n, alpha, beta,
                                                     1.0 - alpha - beta);
     const auto expected = igt_stationary_probs(pop, k);
+    const auto burn =
+        static_cast<std::uint64_t>(igt_mixing_upper_bound(pop, k));
     for (const auto sampling :
          {pair_sampling::distinct, pair_sampling::with_replacement}) {
       timer clock;
       const igt_protocol proto(k);
-      simulation sim(proto,
-                     population(make_igt_population_states(pop, k, 0), 2 + k),
-                     rng(1234 + static_cast<std::uint64_t>(beta * 100)),
-                     sampling);
-      sim.run(static_cast<std::uint64_t>(igt_mixing_upper_bound(pop, k)));
-      const auto census = time_averaged_census(sim, k, 500'000, pop.num_gtft);
+      const sim_spec spec(
+          proto, population(make_igt_population_states(pop, k, 0), 2 + k),
+          sampling);
+      const auto batch = replicate_census(
+          {replicas, 1234 + static_cast<std::uint64_t>(beta * 100), 0},
+          [&](const replica_context&, rng& gen) {
+            return replica_census(spec, gen, k, burn, 125'000, pop.num_gtft);
+          });
+      const auto census = batch.mean();
       const double lambda = (1.0 - pop.beta()) / pop.beta();
       table.add_row(
           {fmt(pop.beta(), 3), fmt(lambda, 2),
            sampling == pair_sampling::distinct ? "distinct" : "replace",
            fmt(total_variation(census, expected), 4), fmt(census[k - 1], 4),
-           fmt(expected[k - 1], 4), fmt(clock.seconds(), 2)});
+           fmt(expected[k - 1], 4), fmt(batch.ci_half_width()[k - 1], 4),
+           fmt(clock.seconds(), 2)});
     }
   }
   table.print(std::cout);

@@ -10,20 +10,21 @@
 
 #include "ppg/core/igt_count_chain.hpp"
 #include "ppg/core/theory.hpp"
+#include "ppg/exp/replicate.hpp"
 #include "ppg/games/strategy.hpp"
 #include "ppg/util/table.hpp"
 
 namespace {
 
-double simulated_average_generosity(const ppg::abg_population& pop,
-                                    std::size_t k, double g_max,
-                                    ppg::rng& gen) {
+double replica_average_generosity(const ppg::abg_population& pop,
+                                  std::size_t k, double g_max,
+                                  ppg::rng& gen) {
   using namespace ppg;
   const auto grid = generosity_grid(k, g_max);
   igt_count_chain chain(pop, k, 0);
   chain.run(static_cast<std::uint64_t>(igt_mixing_upper_bound(pop, k)), gen);
   double total = 0.0;
-  const std::uint64_t samples = 300'000;
+  const std::uint64_t samples = 150'000;
   for (std::uint64_t i = 0; i < samples; ++i) {
     chain.step(gen);
     double g_bar = 0.0;
@@ -35,6 +36,19 @@ double simulated_average_generosity(const ppg::abg_population& pop,
   return total / static_cast<double>(samples);
 }
 
+// Mean over independent replicas run on the batch engine (the time average
+// of each replica is one scalar observation).
+double simulated_average_generosity(const ppg::abg_population& pop,
+                                    std::size_t k, double g_max) {
+  using namespace ppg;
+  return replicate_scalar({4, 77, 0},
+                          [&](const replica_context&, rng& gen) {
+                            return replica_average_generosity(pop, k, g_max,
+                                                              gen);
+                          })
+      .mean();
+}
+
 }  // namespace
 
 int main() {
@@ -43,7 +57,6 @@ int main() {
                "Corollary C.1) ===\n\n";
   const double g_max = 0.8;
   const std::size_t n = 500;
-  rng gen(77);
 
   std::cout << "(a) beta sweep at k = 8, g_max = " << g_max << "\n";
   text_table beta_table({"beta", "simulated", "closed form (P2.8)",
@@ -51,7 +64,7 @@ int main() {
   for (const double beta : {0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.8}) {
     const auto pop =
         abg_population::from_fractions(n, 0.1, beta, 0.9 - beta);
-    const double sim = simulated_average_generosity(pop, 8, g_max, gen);
+    const double sim = simulated_average_generosity(pop, 8, g_max);
     const double closed =
         average_stationary_generosity(pop.beta(), 8, g_max);
     const std::string bound =
@@ -69,7 +82,7 @@ int main() {
                       "k*(g_max - g_avg)/g_max"});
   for (const std::size_t k : {2u, 4u, 8u, 16u, 32u}) {
     const auto pop = abg_population::from_fractions(n, 0.1, 0.25, 0.65);
-    const double sim = simulated_average_generosity(pop, k, g_max, gen);
+    const double sim = simulated_average_generosity(pop, k, g_max);
     const double closed =
         average_stationary_generosity(pop.beta(), k, g_max);
     const double gap = g_max - closed;
@@ -84,7 +97,7 @@ int main() {
   text_table k0_table({"k", "simulated", "closed form", "k*g_avg/g_max"});
   for (const std::size_t k : {2u, 4u, 8u, 16u, 32u}) {
     const auto pop = abg_population::from_fractions(n, 0.1, 0.75, 0.15);
-    const double sim = simulated_average_generosity(pop, k, g_max, gen);
+    const double sim = simulated_average_generosity(pop, k, g_max);
     const double closed =
         average_stationary_generosity(pop.beta(), k, g_max);
     k0_table.add_row({std::to_string(k), fmt(sim, 4), fmt(closed, 4),

@@ -16,6 +16,7 @@
 #include "ppg/core/igt_protocol.hpp"
 #include "ppg/core/igt_count_chain.hpp"
 #include "ppg/core/theory.hpp"
+#include "ppg/exp/replicate.hpp"
 #include "ppg/util/table.hpp"
 
 int main() {
@@ -54,33 +55,40 @@ int main() {
   psi_table.print(std::cout);
 
   std::cout << "\n(b) Psi of the census measured from the agent-level "
-               "simulation (n = 300)\n";
+               "simulation (n = 300, 4 replicas)\n";
   text_table sim_table({"k", "Psi (ideal mu)", "Psi (simulated census)"});
   const auto pop = abg_population::from_fractions(300, alpha, beta, gamma);
-  rng gen(11);
   for (const std::size_t k : {4u, 8u, 16u}) {
     const igt_equilibrium_analyzer analyzer(instance.setting, alpha, beta,
                                             gamma, k, instance.g_max);
     const igt_protocol proto(k);
-    simulation sim(proto,
-                   population(make_igt_population_states(pop, k, 0), 2 + k),
-                   gen.split(), pair_sampling::with_replacement);
-    sim.run(static_cast<std::uint64_t>(igt_mixing_upper_bound(pop, k)));
-    std::vector<double> census(k, 0.0);
-    const std::uint64_t samples = 400'000;
-    for (std::uint64_t i = 0; i < samples; ++i) {
-      sim.step();
-      const auto z = gtft_level_counts(sim.agents(), k);
-      for (std::size_t j = 0; j < k; ++j) {
-        census[j] += static_cast<double>(z[j]);
-      }
-    }
-    for (auto& x : census) {
-      x /= static_cast<double>(samples) * static_cast<double>(pop.num_gtft);
-    }
+    const sim_spec spec(
+        proto, population(make_igt_population_states(pop, k, 0), 2 + k),
+        pair_sampling::with_replacement);
+    const auto burn =
+        static_cast<std::uint64_t>(igt_mixing_upper_bound(pop, k));
+    const auto batch = replicate_census(
+        {4, 11, 0}, [&](const replica_context&, rng& gen) {
+          simulation sim = spec.instantiate(gen);
+          sim.run(burn);
+          std::vector<double> census(k, 0.0);
+          const std::uint64_t samples = 100'000;
+          for (std::uint64_t i = 0; i < samples; ++i) {
+            sim.step();
+            const auto z = gtft_level_counts(sim.agents(), k);
+            for (std::size_t j = 0; j < k; ++j) {
+              census[j] += static_cast<double>(z[j]);
+            }
+          }
+          for (auto& x : census) {
+            x /= static_cast<double>(samples) *
+                 static_cast<double>(pop.num_gtft);
+          }
+          return census;
+        });
     sim_table.add_row({std::to_string(k),
                        fmt_sci(analyzer.stationary_gap().epsilon, 3),
-                       fmt_sci(analyzer.gap(census).epsilon, 3)});
+                       fmt_sci(analyzer.gap(batch.mean()).epsilon, 3)});
   }
   sim_table.print(std::cout);
 

@@ -1,15 +1,17 @@
 // Engine micro-benchmarks (google-benchmark): interactions per second of
 // the three simulation layers (agent-level protocol engine, k-IGT count
-// chain / coordinate walk, exact-chain distribution step) and the exact
-// payoff oracle. These are the practical knobs for choosing a layer:
-// the count chain is ~an order of magnitude faster than the agent-level
-// engine and is exact for census-level questions (equation (5)).
+// chain / coordinate walk, exact-chain distribution step), the exact
+// payoff oracle, and the batch-replication engine's thread scaling. These
+// are the practical knobs for choosing a layer: the count chain is ~an
+// order of magnitude faster than the agent-level engine and is exact for
+// census-level questions (equation (5)).
 #include <benchmark/benchmark.h>
 
 #include "ppg/core/igt_count_chain.hpp"
 #include "ppg/core/igt_protocol.hpp"
 #include "ppg/ehrenfest/exact_chain.hpp"
 #include "ppg/ehrenfest/process.hpp"
+#include "ppg/exp/replicate.hpp"
 #include "ppg/games/closed_form.hpp"
 #include "ppg/games/exact_payoff.hpp"
 #include "ppg/games/rollout.hpp"
@@ -92,6 +94,36 @@ void bm_closed_form_payoff(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(bm_closed_form_payoff);
+
+// Aggregate throughput of the batch-replication engine: R = 8 replicas of a
+// fixed-step agent-level IGT simulation fanned across Arg(0) worker threads.
+// Items = total interactions across all replicas, measured on the wall
+// clock, so items/sec is the aggregate simulation throughput; on a machine
+// with >= 8 cores the 8-thread row should show >= 4x the 1-thread rate.
+// Aggregates are bit-identical across the rows (asserted in test_exp).
+void bm_batch_agent_level(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  const std::size_t k = 8;
+  const auto pop = abg_population::from_fractions(1000, 0.1, 0.2, 0.7);
+  const igt_protocol proto(k);
+  const sim_spec spec(proto,
+                      population(make_igt_population_states(pop, k, 0), 2 + k));
+  constexpr std::size_t replicas = 8;
+  constexpr std::uint64_t steps_per_replica = 100'000;
+  for (auto _ : state) {
+    const auto batch = replicate_census(
+        {replicas, 7, threads}, [&](const replica_context&, rng& gen) {
+          simulation sim = spec.instantiate(gen);
+          sim.run(steps_per_replica);
+          return sim.agents().fractions();
+        });
+    benchmark::DoNotOptimize(batch.count());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(replicas) *
+                          static_cast<std::int64_t>(steps_per_replica));
+}
+BENCHMARK(bm_batch_agent_level)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 
 void bm_rollout_game(benchmark::State& state) {
   const repeated_donation_game rdg{{3.0, 1.0}, 0.9};

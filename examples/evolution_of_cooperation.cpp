@@ -11,6 +11,7 @@
 
 #include "ppg/core/igt_count_chain.hpp"
 #include "ppg/core/theory.hpp"
+#include "ppg/exp/replicate.hpp"
 #include "ppg/games/closed_form.hpp"
 #include "ppg/games/exact_payoff.hpp"
 #include "ppg/util/table.hpp"
@@ -30,33 +31,38 @@ int main() {
   std::cout << "k = " << k << " generosity levels on [0, " << g_max
             << "]; n = " << n << " agents, alpha = beta sweep\n\n";
 
-  text_table table({"beta", "avg generosity (sim)", "avg generosity (P2.8)",
-                    "GTFT-vs-GTFT coop payoff", "vs-AD bleed"});
+  text_table table({"beta", "avg generosity (sim)", "+- 95% CI",
+                    "avg generosity (P2.8)", "GTFT-vs-GTFT coop payoff",
+                    "vs-AD bleed"});
 
-  rng gen(7);
   for (const double beta : {0.05, 0.15, 0.25, 0.35, 0.45, 0.5, 0.55, 0.65,
                             0.75}) {
     const double alpha = 0.1;
     const double gamma = 1.0 - alpha - beta;
     const auto pop = abg_population::from_fractions(n, alpha, beta, gamma);
 
-    // Simulate the count chain to its stationary regime and time-average
-    // the population's mean generosity.
-    igt_count_chain chain(pop, k, 0);
+    // Simulate 4 independent count-chain replicas to the stationary regime
+    // on the batch engine; each replica's time-averaged mean generosity is
+    // one observation.
     const auto burn =
         static_cast<std::uint64_t>(igt_mixing_upper_bound(pop, k));
-    chain.run(burn, gen);
-    double avg_g = 0.0;
-    const std::uint64_t samples = 200'000;
-    for (std::uint64_t i = 0; i < samples; ++i) {
-      chain.step(gen);
-      double g_bar = 0.0;
-      for (std::size_t j = 0; j < k; ++j) {
-        g_bar += grid[j] * static_cast<double>(chain.counts()[j]);
-      }
-      avg_g += g_bar / static_cast<double>(pop.num_gtft);
-    }
-    avg_g /= static_cast<double>(samples);
+    const auto batch = replicate_scalar(
+        {4, 7, 0}, [&](const replica_context&, rng& gen) {
+          igt_count_chain chain(pop, k, 0);
+          chain.run(burn, gen);
+          double total = 0.0;
+          const std::uint64_t samples = 50'000;
+          for (std::uint64_t i = 0; i < samples; ++i) {
+            chain.step(gen);
+            double g_bar = 0.0;
+            for (std::size_t j = 0; j < k; ++j) {
+              g_bar += grid[j] * static_cast<double>(chain.counts()[j]);
+            }
+            total += g_bar / static_cast<double>(pop.num_gtft);
+          }
+          return total / static_cast<double>(samples);
+        });
+    const double avg_g = batch.mean();
 
     const double predicted =
         average_stationary_generosity(pop.beta(), k, g_max);
@@ -64,7 +70,8 @@ int main() {
     const double coop_payoff = f_gtft_vs_gtft(setting, avg_g, avg_g);
     const double bleed = f_gtft_vs_ad(setting, avg_g);
 
-    table.add_row({fmt(pop.beta(), 3), fmt(avg_g, 4), fmt(predicted, 4),
+    table.add_row({fmt(pop.beta(), 3), fmt(avg_g, 4),
+                   fmt(batch.ci_half_width(), 4), fmt(predicted, 4),
                    fmt(coop_payoff, 3), fmt(bleed, 3)});
   }
   table.print(std::cout);

@@ -1,0 +1,77 @@
+#include "ppg/exp/aggregator.hpp"
+
+#include "ppg/util/error.hpp"
+
+namespace ppg {
+
+void census_aggregator::add(const std::vector<double>& census) {
+  PPG_CHECK(!census.empty(), "aggregating an empty census");
+  if (coords_.empty()) {
+    coords_.resize(census.size());
+  }
+  PPG_CHECK(census.size() == coords_.size(),
+            "census dimension changed between replicas");
+  for (std::size_t j = 0; j < coords_.size(); ++j) {
+    coords_[j].add(census[j]);
+  }
+}
+
+void census_aggregator::merge(const census_aggregator& other) {
+  if (other.coords_.empty()) return;
+  if (coords_.empty()) {
+    coords_ = other.coords_;
+    return;
+  }
+  PPG_CHECK(coords_.size() == other.coords_.size(),
+            "merging census aggregators of different dimensions");
+  for (std::size_t j = 0; j < coords_.size(); ++j) {
+    coords_[j].merge(other.coords_[j]);
+  }
+}
+
+std::size_t census_aggregator::count() const {
+  return coords_.empty() ? 0 : coords_.front().count();
+}
+
+std::vector<double> census_aggregator::mean() const {
+  PPG_CHECK(count() > 0, "mean of an empty census aggregate");
+  std::vector<double> result(coords_.size());
+  for (std::size_t j = 0; j < coords_.size(); ++j) {
+    result[j] = coords_[j].mean();
+  }
+  return result;
+}
+
+std::vector<double> census_aggregator::ci_half_width(double z) const {
+  PPG_CHECK(count() > 1, "confidence interval needs at least two replicas");
+  std::vector<double> result(coords_.size());
+  for (std::size_t j = 0; j < coords_.size(); ++j) {
+    result[j] = coords_[j].ci_half_width(z);
+  }
+  return result;
+}
+
+const running_summary& census_aggregator::coordinate(std::size_t j) const {
+  PPG_CHECK(j < coords_.size(), "census coordinate out of range");
+  return coords_[j];
+}
+
+void scalar_aggregator::add(double value) {
+  summary_.add(value);
+  distribution_.add(value);
+}
+
+void scalar_aggregator::merge(const scalar_aggregator& other) {
+  summary_.merge(other.summary_);
+  distribution_.merge(other.distribution_);
+}
+
+void trajectory_aggregator::add(const std::vector<double>& trajectory) {
+  curve_.add(trajectory);
+}
+
+void trajectory_aggregator::merge(const trajectory_aggregator& other) {
+  curve_.merge(other.curve_);
+}
+
+}  // namespace ppg

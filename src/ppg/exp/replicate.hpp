@@ -1,0 +1,48 @@
+// One-call replicate-and-reduce entry points: the three shapes every
+// Monte-Carlo driver in bench/ and examples/ needs. Each runs R replicas on
+// the batch engine and folds them, in replica order, into the matching
+// aggregator.
+//
+//   auto agg = replicate_scalar(opts, [&](const replica_context&, rng& gen) {
+//     return measure_hitting_time(pop, k, gen);   // one replica
+//   });
+//   agg.mean(); agg.ci_half_width(); agg.quantile(0.9);
+#pragma once
+
+#include <utility>
+
+#include "ppg/exp/aggregator.hpp"
+#include "ppg/exp/batch_runner.hpp"
+
+namespace ppg {
+
+/// Replicates a scalar-valued experiment (body returns double).
+template <typename Body>
+[[nodiscard]] scalar_aggregator replicate_scalar(const batch_options& opts,
+                                                 Body&& body) {
+  scalar_aggregator agg;
+  batch_runner(opts).run_into(std::forward<Body>(body), agg);
+  return agg;
+}
+
+/// Replicates a census-valued experiment (body returns std::vector<double>
+/// of a fixed length).
+template <typename Body>
+[[nodiscard]] census_aggregator replicate_census(const batch_options& opts,
+                                                 Body&& body) {
+  census_aggregator agg;
+  batch_runner(opts).run_into(std::forward<Body>(body), agg);
+  return agg;
+}
+
+/// Replicates a trajectory-valued experiment (body returns the values of one
+/// replica's trace at a fixed shared time grid).
+template <typename Body>
+[[nodiscard]] trajectory_aggregator replicate_trajectory(
+    const batch_options& opts, Body&& body) {
+  trajectory_aggregator agg;
+  batch_runner(opts).run_into(std::forward<Body>(body), agg);
+  return agg;
+}
+
+}  // namespace ppg

@@ -71,4 +71,16 @@ double simulation::parallel_time() const {
          static_cast<double>(agents_.size());
 }
 
+sim_spec::sim_spec(const protocol& proto, population initial,
+                   pair_sampling sampling)
+    : proto_(&proto), initial_(std::move(initial)), sampling_(sampling) {
+  PPG_CHECK(initial_.num_state_kinds() >= proto_->num_states(),
+            "population state space smaller than the protocol's");
+  PPG_CHECK(initial_.size() >= 2, "a protocol needs at least two agents");
+}
+
+simulation sim_spec::instantiate(rng& gen) const {
+  return simulation(*proto_, initial_, gen.split(), sampling_);
+}
+
 }  // namespace ppg

@@ -84,4 +84,31 @@ class simulation {
   std::uint64_t interactions_ = 0;
 };
 
+/// A seedless recipe for a simulation: protocol, initial population, and
+/// sampling discipline. Replica R of a batch is `instantiate(gen_R)` — every
+/// replica starts from the identical initial condition and differs only in
+/// its RNG stream, which is what the batch engine needs to fan one
+/// configuration out across a worker pool. The protocol must outlive the
+/// spec and every simulation built from it.
+class sim_spec {
+ public:
+  sim_spec(const protocol& proto, population initial,
+           pair_sampling sampling = pair_sampling::distinct);
+
+  /// A fresh simulation at the initial condition. The simulation is seeded
+  /// from gen.split(), so it owns an independent stream: the caller's
+  /// generator never shares draws with the simulation (instantiating twice
+  /// from one generator yields two *different* trajectories).
+  [[nodiscard]] simulation instantiate(rng& gen) const;
+
+  [[nodiscard]] const population& initial() const { return initial_; }
+  [[nodiscard]] const protocol& proto() const { return *proto_; }
+  [[nodiscard]] pair_sampling sampling() const { return sampling_; }
+
+ private:
+  const protocol* proto_;
+  population initial_;
+  pair_sampling sampling_;
+};
+
 }  // namespace ppg

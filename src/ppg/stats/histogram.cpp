@@ -49,6 +49,15 @@ std::string histogram::ascii_bars(std::size_t width) const {
   return out.str();
 }
 
+void histogram::merge(const histogram& other) {
+  PPG_CHECK(counts_.size() == other.counts_.size(),
+            "merging histograms of different sizes");
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  total_ += other.total_;
+}
+
 void histogram::clear() {
   std::fill(counts_.begin(), counts_.end(), 0);
   total_ = 0;

@@ -26,6 +26,10 @@ class histogram {
   /// of the longest bar.
   [[nodiscard]] std::string ascii_bars(std::size_t width = 40) const;
 
+  /// Adds another histogram's counts into this one (parallel reduction
+  /// support); sizes must match. Associative and commutative.
+  void merge(const histogram& other);
+
   void clear();
 
  private:

@@ -93,4 +93,15 @@ rng rng::split() {
   return rng((*this)());
 }
 
+std::uint64_t derive_stream_seed(std::uint64_t master, std::uint64_t stream) {
+  // Jump the splitmix64 counter directly to position `stream`: adding the
+  // golden-ratio increment (stream+1) times is one multiplication.
+  std::uint64_t counter = master + stream * 0x9e3779b97f4a7c15ull;
+  return splitmix64(counter);
+}
+
+rng make_stream_rng(std::uint64_t master, std::uint64_t stream) {
+  return rng(derive_stream_seed(master, stream));
+}
+
 }  // namespace ppg

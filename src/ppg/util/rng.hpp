@@ -56,4 +56,16 @@ class rng {
   std::array<std::uint64_t, 4> state_;
 };
 
+/// The `stream`-th derived seed of a master seed: the (stream+1)-th output of
+/// splitmix64 started at `master`. Counter-based (O(1) per index), so replica
+/// i's seed does not depend on how many other replicas exist or in what order
+/// they are created — the foundation of the batch engine's determinism.
+/// splitmix64's output function is a bijection of its counter, so distinct
+/// streams of one master never collide.
+[[nodiscard]] std::uint64_t derive_stream_seed(std::uint64_t master,
+                                               std::uint64_t stream);
+
+/// Generator for replica `stream` of `master`: rng(derive_stream_seed(...)).
+[[nodiscard]] rng make_stream_rng(std::uint64_t master, std::uint64_t stream);
+
 }  // namespace ppg

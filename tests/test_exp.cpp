@@ -1,0 +1,311 @@
+// Tests for the batch-replication engine: thread-count determinism, RNG
+// stream derivation, aggregator merge associativity, the thread pool, and
+// the empirical-CDF accumulator it feeds.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "ppg/core/igt_count_chain.hpp"
+#include "ppg/core/igt_protocol.hpp"
+#include "ppg/exp/replicate.hpp"
+#include "ppg/stats/ecdf.hpp"
+#include "ppg/util/thread_pool.hpp"
+
+namespace ppg {
+namespace {
+
+TEST(StreamSeeds, DeterministicAndDistinct) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    const auto seed = derive_stream_seed(42, i);
+    EXPECT_EQ(seed, derive_stream_seed(42, i));
+    seeds.insert(seed);
+  }
+  // splitmix64's output function is a bijection of the counter, so all
+  // derived seeds of one master must be distinct.
+  EXPECT_EQ(seeds.size(), 10000u);
+}
+
+TEST(StreamSeeds, IndependentOfOtherStreams) {
+  // Counter-based: stream 7's seed is the same whether or not streams 0-6
+  // were ever derived, and across masters the maps differ.
+  EXPECT_EQ(derive_stream_seed(1, 7), derive_stream_seed(1, 7));
+  EXPECT_NE(derive_stream_seed(1, 7), derive_stream_seed(2, 7));
+}
+
+TEST(StreamSeeds, StreamsDoNotOverlap) {
+  // Draw a prefix from many streams of one master; across streams the
+  // 64-bit outputs must be (essentially) collision-free. Any overlap of
+  // stream windows would show up as repeated values.
+  std::set<std::uint64_t> draws;
+  constexpr int streams = 200;
+  constexpr int prefix = 64;
+  for (int s = 0; s < streams; ++s) {
+    rng gen = make_stream_rng(99, static_cast<std::uint64_t>(s));
+    for (int i = 0; i < prefix; ++i) {
+      draws.insert(gen());
+    }
+  }
+  EXPECT_EQ(draws.size(), static_cast<std::size_t>(streams * prefix));
+}
+
+TEST(ThreadPool, RunsEveryTaskExactlyOnce) {
+  thread_pool pool(4);
+  std::atomic<int> hits{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&hits] { hits.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(hits.load(), 100);
+  // The pool stays usable after an idle wait.
+  pool.submit([&hits] { hits.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(hits.load(), 101);
+}
+
+TEST(BatchRunner, CoversEveryReplicaOnce) {
+  const batch_options opts{32, 7, 4};
+  const auto indices = batch_runner(opts).run(
+      [](const replica_context& ctx, rng&) { return ctx.index; });
+  ASSERT_EQ(indices.size(), 32u);
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    EXPECT_EQ(indices[i], i);
+  }
+}
+
+TEST(BatchRunner, ReplicaSeedsMatchDerivation) {
+  const batch_options opts{8, 1234, 2};
+  const auto seeds = batch_runner(opts).run(
+      [](const replica_context& ctx, rng&) { return ctx.seed; });
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    EXPECT_EQ(seeds[i], derive_stream_seed(1234, i));
+  }
+}
+
+// The acceptance property of the engine: a real simulation batch aggregated
+// at 1 worker and at 8 workers produces bit-identical results.
+TEST(BatchRunner, AggregatesBitIdenticalAcrossThreadCounts) {
+  const auto pop = abg_population::from_fractions(60, 0.1, 0.2, 0.7);
+  const std::size_t k = 4;
+  const igt_protocol proto(k);
+  const sim_spec spec(proto, population(make_igt_population_states(pop, k, 0),
+                                        2 + k));
+  const auto body = [&](const replica_context&, rng& gen) {
+    simulation sim = spec.instantiate(gen);
+    sim.run(2000);
+    std::vector<double> census(k);
+    const auto z = gtft_level_counts(sim.agents(), k);
+    for (std::size_t j = 0; j < k; ++j) {
+      census[j] = static_cast<double>(z[j]);
+    }
+    return census;
+  };
+  const auto serial = replicate_census({16, 2024, 1}, body);
+  const auto parallel = replicate_census({16, 2024, 8}, body);
+  ASSERT_EQ(serial.count(), 16u);
+  ASSERT_EQ(parallel.count(), 16u);
+  for (std::size_t j = 0; j < k; ++j) {
+    // Exact equality, not near-equality: the engine promises bit-identical
+    // reduction order at any thread count.
+    EXPECT_EQ(serial.mean()[j], parallel.mean()[j]);
+    EXPECT_EQ(serial.ci_half_width()[j], parallel.ci_half_width()[j]);
+  }
+}
+
+TEST(BatchRunner, ScalarAggregateDeterministicAcrossThreadCounts) {
+  const auto body = [](const replica_context& ctx, rng& gen) {
+    double acc = 0.0;
+    for (int i = 0; i < 1000; ++i) acc += gen.next_double();
+    return acc + static_cast<double>(ctx.index);
+  };
+  const auto a = replicate_scalar({25, 5, 1}, body);
+  const auto b = replicate_scalar({25, 5, 3}, body);
+  const auto c = replicate_scalar({25, 5, 8}, body);
+  EXPECT_EQ(a.mean(), b.mean());
+  EXPECT_EQ(a.mean(), c.mean());
+  EXPECT_EQ(a.std_error(), c.std_error());
+  EXPECT_EQ(a.quantile(0.5), c.quantile(0.5));
+}
+
+TEST(BatchRunner, PropagatesReplicaExceptions) {
+  const batch_options opts{8, 0, 4};
+  EXPECT_THROW(batch_runner(opts).run([](const replica_context& ctx, rng&) {
+    if (ctx.index == 5) throw std::runtime_error("replica 5 failed");
+    return 0;
+  }),
+               std::runtime_error);
+}
+
+TEST(BatchRunner, RejectsEmptyBatch) {
+  EXPECT_THROW(batch_runner({0, 0, 1}), invariant_error);
+}
+
+TEST(Aggregators, CensusMergeMatchesSequentialFill) {
+  // merge() must behave as if the right-hand replicas had been added
+  // directly, and must be associative up to floating-point round-off.
+  std::vector<std::vector<double>> censuses;
+  rng gen(3);
+  for (int r = 0; r < 9; ++r) {
+    censuses.push_back({gen.next_double(), gen.next_double() * 10.0,
+                        gen.next_double() - 0.5});
+  }
+  census_aggregator all;
+  for (const auto& census : censuses) all.add(census);
+
+  census_aggregator a, b, c;
+  for (int r = 0; r < 3; ++r) a.add(censuses[static_cast<std::size_t>(r)]);
+  for (int r = 3; r < 6; ++r) b.add(censuses[static_cast<std::size_t>(r)]);
+  for (int r = 6; r < 9; ++r) c.add(censuses[static_cast<std::size_t>(r)]);
+
+  census_aggregator left = a;   // (a + b) + c
+  left.merge(b);
+  left.merge(c);
+  census_aggregator bc = b;     // a + (b + c)
+  bc.merge(c);
+  census_aggregator right = a;
+  right.merge(bc);
+
+  ASSERT_EQ(left.count(), 9u);
+  ASSERT_EQ(right.count(), 9u);
+  for (std::size_t j = 0; j < 3; ++j) {
+    EXPECT_NEAR(left.mean()[j], right.mean()[j], 1e-13);
+    EXPECT_NEAR(left.mean()[j], all.mean()[j], 1e-13);
+    EXPECT_NEAR(left.ci_half_width()[j], right.ci_half_width()[j], 1e-13);
+    EXPECT_NEAR(left.ci_half_width()[j], all.ci_half_width()[j], 1e-13);
+  }
+}
+
+TEST(Aggregators, ScalarMergeAssociative) {
+  scalar_aggregator a, b, c;
+  rng gen(17);
+  for (int i = 0; i < 50; ++i) a.add(gen.next_double());
+  for (int i = 0; i < 30; ++i) b.add(gen.next_double() * 5.0);
+  for (int i = 0; i < 20; ++i) c.add(gen.next_double() - 2.0);
+
+  scalar_aggregator left = a;
+  left.merge(b);
+  left.merge(c);
+  scalar_aggregator bc = b;
+  bc.merge(c);
+  scalar_aggregator right = a;
+  right.merge(bc);
+
+  ASSERT_EQ(left.count(), 100u);
+  ASSERT_EQ(right.count(), 100u);
+  EXPECT_NEAR(left.mean(), right.mean(), 1e-14);
+  EXPECT_NEAR(left.std_error(), right.std_error(), 1e-14);
+  // The empirical distribution is sorted, so merging is exactly
+  // order-independent.
+  EXPECT_EQ(left.distribution().sorted_samples(),
+            right.distribution().sorted_samples());
+  EXPECT_EQ(left.min(), right.min());
+  EXPECT_EQ(left.max(), right.max());
+}
+
+TEST(Aggregators, MergeWithEmptyIsIdentity) {
+  census_aggregator filled;
+  filled.add({1.0, 2.0});
+  filled.add({3.0, 4.0});
+  census_aggregator empty;
+  census_aggregator left = filled;
+  left.merge(empty);
+  census_aggregator right = empty;
+  right.merge(filled);
+  EXPECT_EQ(left.mean(), filled.mean());
+  EXPECT_EQ(right.mean(), filled.mean());
+  EXPECT_EQ(left.count(), 2u);
+  EXPECT_EQ(right.count(), 2u);
+}
+
+TEST(Aggregators, TrajectoryBand) {
+  trajectory_aggregator band;
+  band.add({0.0, 1.0, 2.0});
+  band.add({2.0, 3.0, 4.0});
+  ASSERT_EQ(band.points(), 3u);
+  const auto mean = band.mean_curve();
+  EXPECT_DOUBLE_EQ(mean[0], 1.0);
+  EXPECT_DOUBLE_EQ(mean[1], 2.0);
+  EXPECT_DOUBLE_EQ(mean[2], 3.0);
+  EXPECT_THROW(band.add({1.0}), invariant_error);
+}
+
+TEST(Ecdf, QuantilesAndCdf) {
+  empirical_cdf dist;
+  for (const double x : {5.0, 1.0, 3.0, 2.0, 4.0}) dist.add(x);
+  EXPECT_DOUBLE_EQ(dist.min(), 1.0);
+  EXPECT_DOUBLE_EQ(dist.max(), 5.0);
+  EXPECT_DOUBLE_EQ(dist.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(dist.quantile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(dist.quantile(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(dist.cdf(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(dist.cdf(3.0), 0.6);
+  EXPECT_DOUBLE_EQ(dist.cdf(9.0), 1.0);
+}
+
+TEST(Ecdf, BinnedHistogramClampsOutliers) {
+  empirical_cdf dist;
+  for (const double x : {-10.0, 0.1, 0.5, 0.9, 10.0}) dist.add(x);
+  const auto h = dist.binned(2, 0.0, 1.0);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.count(0), 2u);  // -10 clamped down, plus 0.1
+  EXPECT_EQ(h.count(1), 3u);  // 0.5 and 0.9, plus 10 clamped up
+}
+
+TEST(Histogram, MergeAddsCounts) {
+  histogram a(3);
+  a.add(0, 2);
+  a.add(2);
+  histogram b(3);
+  b.add(1, 5);
+  a.merge(b);
+  EXPECT_EQ(a.count(0), 2u);
+  EXPECT_EQ(a.count(1), 5u);
+  EXPECT_EQ(a.count(2), 1u);
+  EXPECT_EQ(a.total(), 8u);
+  histogram wrong(2);
+  EXPECT_THROW(a.merge(wrong), invariant_error);
+}
+
+TEST(SimSpec, ReplicasStartFromIdenticalInitialCondition) {
+  const auto pop = abg_population::from_fractions(40, 0.1, 0.2, 0.7);
+  const std::size_t k = 3;
+  const igt_protocol proto(k);
+  const sim_spec spec(proto, population(make_igt_population_states(pop, k, 1),
+                                        2 + k));
+  rng gen_a(1);
+  rng gen_b(2);
+  simulation first = spec.instantiate(gen_a);
+  simulation second = spec.instantiate(gen_b);
+  EXPECT_EQ(first.agents().counts(), second.agents().counts());
+  // Same seed => identical replica trajectories.
+  rng gen_c(1);
+  simulation third = spec.instantiate(gen_c);
+  first.run(500);
+  third.run(500);
+  EXPECT_EQ(first.agents().counts(), third.agents().counts());
+}
+
+TEST(SimSpec, InstantiateDoesNotShareTheCallersStream) {
+  const auto pop = abg_population::from_fractions(40, 0.1, 0.2, 0.7);
+  const std::size_t k = 3;
+  const igt_protocol proto(k);
+  const sim_spec spec(proto, population(make_igt_population_states(pop, k, 0),
+                                        2 + k));
+  // Two simulations drawn from one generator must follow different
+  // trajectories, and the caller's generator must have advanced.
+  rng gen(9);
+  rng untouched(9);
+  simulation a = spec.instantiate(gen);
+  simulation b = spec.instantiate(gen);
+  a.run(2000);
+  b.run(2000);
+  EXPECT_NE(a.agents().counts(), b.agents().counts());
+  EXPECT_NE(gen(), untouched());
+}
+
+}  // namespace
+}  // namespace ppg

@@ -191,7 +191,8 @@ TEST(IgtActionProtocol, HighDeltaMatchesTypeKeyedTransitions) {
   int agreements = 0;
   constexpr int trials = 400;
   for (int i = 0; i < trials; ++i) {
-    const agent_state init = igt_encoding::gtft(1 + (i % 2));
+    const agent_state init =
+        igt_encoding::gtft(static_cast<std::size_t>(1 + (i % 2)));
     const agent_state resp =
         (i % 3 == 0) ? igt_encoding::ac
                      : (i % 3 == 1 ? igt_encoding::ad

@@ -95,7 +95,7 @@ TEST(Lu, SolvesKnownSystem) {
 TEST(Lu, SolveRandomSystemsResidual) {
   rng gen(33);
   for (int trial = 0; trial < 20; ++trial) {
-    const std::size_t n = 2 + trial % 6;
+    const std::size_t n = static_cast<std::size_t>(2 + trial % 6);
     matrix a(n, n);
     std::vector<double> b(n);
     for (std::size_t r = 0; r < n; ++r) {

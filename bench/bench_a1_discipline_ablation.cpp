@@ -20,15 +20,16 @@ std::vector<double> stationary_census(const abg_population& pop,
                                       std::size_t k,
                                       igt_discipline discipline, rng gen) {
   const igt_protocol proto(k, discipline);
-  simulation sim(proto,
-                 population(make_igt_population_states(pop, k, 0), 2 + k),
-                 gen, pair_sampling::with_replacement);
-  sim.run(400'000);
+  const sim_spec spec(proto,
+                      population(make_igt_population_states(pop, k, 0), 2 + k),
+                      pair_sampling::with_replacement);
+  const auto sim = spec.make_engine(engine_kind::census, gen);
+  sim->run(400'000);
   std::vector<double> occupancy(k, 0.0);
   const std::uint64_t samples = 400'000;
   for (std::uint64_t i = 0; i < samples; ++i) {
-    sim.step();
-    const auto census = gtft_level_counts(sim.agents(), k);
+    sim->step();
+    const auto census = gtft_level_counts(sim->census(), k);
     for (std::size_t j = 0; j < k; ++j) {
       occupancy[j] += static_cast<double>(census[j]);
     }
@@ -48,13 +49,13 @@ double hitting_time(const abg_population& pop, std::size_t k,
   }
   target *= 0.9;
   const igt_protocol proto(k, discipline);
-  simulation sim(proto,
-                 population(make_igt_population_states(pop, k, 0), 2 + k),
-                 gen.split(), pair_sampling::with_replacement);
-  for (std::uint64_t t = 1; t <= 100'000'000; ++t) {
-    sim.step();
-    if (t % 32 != 0) continue;
-    const auto census = gtft_level_counts(sim.agents(), k);
+  const sim_spec spec(proto,
+                      population(make_igt_population_states(pop, k, 0), 2 + k),
+                      pair_sampling::with_replacement);
+  const auto sim = spec.make_engine(engine_kind::census, gen);
+  for (std::uint64_t t = 32; t <= 100'000'000; t += 32) {
+    sim->run(32);
+    const auto census = gtft_level_counts(sim->census(), k);
     double mean_level = 0.0;
     for (std::size_t j = 0; j < k; ++j) {
       mean_level += static_cast<double>(j) * static_cast<double>(census[j]);

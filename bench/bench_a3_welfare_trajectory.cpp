@@ -47,14 +47,14 @@ int main() {
     // sampled on the shared time grid.
     const auto batch = replicate_trajectory(
         {4, 2025, 0}, [&](const replica_context&, rng& gen) {
-          simulation sim = spec.instantiate(gen);
+          const auto sim = spec.make_engine(engine_kind::census, gen);
           std::vector<double> trace;
           trace.reserve(2 * points);
           std::vector<double> welfare_trace;
           welfare_trace.reserve(points);
           for (std::uint64_t t = 0; t <= horizon; t += stride) {
-            if (t > 0) sim.run(stride);
-            const auto census = gtft_level_counts(sim.agents(), k);
+            if (t > 0) sim->run(stride);
+            const auto census = gtft_level_counts(sim->census(), k);
             std::vector<double> mu(k);
             double avg_g = 0.0;
             for (std::size_t j = 0; j < k; ++j) {

@@ -2,10 +2,11 @@
 // a (k, gamma(1-beta), gamma*beta, gamma*n)-Ehrenfest process; its
 // stationary distribution is multinomial with p_j ∝ (1/beta - 1)^{j-1}.
 //
-// The full agent-level population protocol is simulated (both pair-sampling
-// disciplines, four independent replicas each on the batch engine) and the
-// replica-averaged census is compared to the closed form across beta
-// regimes.
+// The dynamics run at the census level (engine_kind::census — the exact
+// interaction law of the agent-level protocol, executed on the count vector
+// alone; both pair-sampling disciplines, four independent replicas each on
+// the batch engine) and the replica-averaged census is compared to the
+// closed form across beta regimes.
 #include <iostream>
 
 #include "ppg/core/igt_count_chain.hpp"
@@ -15,38 +16,6 @@
 #include "ppg/util/table.hpp"
 #include "ppg/util/timer.hpp"
 
-namespace {
-
-std::vector<double> time_averaged_census(ppg::simulation& sim, std::size_t k,
-                                         std::uint64_t samples,
-                                         std::uint64_t gtft_count) {
-  using namespace ppg;
-  std::vector<double> occupancy(k, 0.0);
-  for (std::uint64_t i = 0; i < samples; ++i) {
-    sim.step();
-    const auto census = gtft_level_counts(sim.agents(), k);
-    for (std::size_t j = 0; j < k; ++j) {
-      occupancy[j] += static_cast<double>(census[j]);
-    }
-  }
-  for (auto& x : occupancy) {
-    x /= static_cast<double>(samples) * static_cast<double>(gtft_count);
-  }
-  return occupancy;
-}
-
-// One replica: burn in past the mixing bound, then time-average the census.
-std::vector<double> replica_census(const ppg::sim_spec& spec, ppg::rng& gen,
-                                   std::size_t k, std::uint64_t burn,
-                                   std::uint64_t samples,
-                                   std::uint64_t gtft_count) {
-  ppg::simulation sim = spec.instantiate(gen);
-  sim.run(burn);
-  return time_averaged_census(sim, k, samples, gtft_count);
-}
-
-}  // namespace
-
 int main() {
   using namespace ppg;
   std::cout << "=== E3: stationary census of the k-IGT dynamics "
@@ -55,7 +24,7 @@ int main() {
   const std::size_t n = 400;
   const std::size_t k = 6;
   std::cout << "n = " << n << " agents, alpha = 0.1, k = " << k
-            << " levels; agent-level simulation of Definition 2.1.\n\n";
+            << " levels; census-engine simulation of Definition 2.1.\n\n";
 
   text_table table({"beta", "lambda", "sampling", "TV(census, Thm 2.7)",
                     "top-level mass (sim)", "top-level mass (theory)",
@@ -75,10 +44,17 @@ int main() {
       const sim_spec spec(
           proto, population(make_igt_population_states(pop, k, 0), 2 + k),
           sampling);
-      const auto batch = replicate_census(
+      const auto batch = replicate_time_averaged_census(
+          spec, engine_kind::census, burn, 125'000,
           {replicas, 1234 + static_cast<std::uint64_t>(beta * 100), 0},
-          [&](const replica_context&, rng& gen) {
-            return replica_census(spec, gen, k, burn, 125'000, pop.num_gtft);
+          [&](const census_view& census) {
+            const auto z = gtft_level_counts(census, k);
+            std::vector<double> occupancy(k);
+            for (std::size_t j = 0; j < k; ++j) {
+              occupancy[j] = static_cast<double>(z[j]) /
+                             static_cast<double>(pop.num_gtft);
+            }
+            return occupancy;
           });
       const auto census = batch.mean();
       const double lambda = (1.0 - pop.beta()) / pop.beta();

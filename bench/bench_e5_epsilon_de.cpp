@@ -54,7 +54,7 @@ int main() {
   }
   psi_table.print(std::cout);
 
-  std::cout << "\n(b) Psi of the census measured from the agent-level "
+  std::cout << "\n(b) Psi of the census measured from the census-engine "
                "simulation (n = 300, 4 replicas)\n";
   text_table sim_table({"k", "Psi (ideal mu)", "Psi (simulated census)"});
   const auto pop = abg_population::from_fractions(300, alpha, beta, gamma);
@@ -67,24 +67,16 @@ int main() {
         pair_sampling::with_replacement);
     const auto burn =
         static_cast<std::uint64_t>(igt_mixing_upper_bound(pop, k));
-    const auto batch = replicate_census(
-        {4, 11, 0}, [&](const replica_context&, rng& gen) {
-          simulation sim = spec.instantiate(gen);
-          sim.run(burn);
-          std::vector<double> census(k, 0.0);
-          const std::uint64_t samples = 100'000;
-          for (std::uint64_t i = 0; i < samples; ++i) {
-            sim.step();
-            const auto z = gtft_level_counts(sim.agents(), k);
-            for (std::size_t j = 0; j < k; ++j) {
-              census[j] += static_cast<double>(z[j]);
-            }
+    const auto batch = replicate_time_averaged_census(
+        spec, engine_kind::census, burn, 100'000, {4, 11, 0},
+        [&](const census_view& census) {
+          const auto z = gtft_level_counts(census, k);
+          std::vector<double> mu(k);
+          for (std::size_t j = 0; j < k; ++j) {
+            mu[j] = static_cast<double>(z[j]) /
+                    static_cast<double>(pop.num_gtft);
           }
-          for (auto& x : census) {
-            x /= static_cast<double>(samples) *
-                 static_cast<double>(pop.num_gtft);
-          }
-          return census;
+          return mu;
         });
     sim_table.add_row({std::to_string(k),
                        fmt_sci(analyzer.stationary_gap().epsilon, 3),

@@ -1,11 +1,23 @@
 // Engine micro-benchmarks (google-benchmark): interactions per second of
-// the three simulation layers (agent-level protocol engine, k-IGT count
-// chain / coordinate walk, exact-chain distribution step), the exact
-// payoff oracle, and the batch-replication engine's thread scaling. These
-// are the practical knobs for choosing a layer: the count chain is ~an
-// order of magnitude faster than the agent-level engine and is exact for
-// census-level questions (equation (5)).
+// the pluggable simulation engines (agent / census / batched, selected via
+// sim_spec::make_engine) across population sizes, plus the k-IGT count
+// chain, the exact-chain distribution step, the payoff oracles, and the
+// batch-replication engine's thread scaling.
+//
+// The bm_engine_igt rows are the engine-selection guide: the census engine's
+// per-interaction cost is O(q) and independent of n (it is the only engine
+// that reaches n = 10^8), and the batched engine additionally skips runs of
+// identity interactions in one geometric draw — on the one-way IGT kernel
+// with a dilute GTFT subpopulation it executes far less than one sampling
+// operation per interaction. items_per_second is interactions per second in
+// every engine row, so BENCH_*.json tracks an engine-comparison trajectory.
+//
+// Invoked as `bench_throughput --smoke`, only the engine rows run, briefly —
+// the CI regression check for engine selection.
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <vector>
 
 #include "ppg/core/igt_count_chain.hpp"
 #include "ppg/core/igt_protocol.hpp"
@@ -20,20 +32,71 @@ namespace {
 
 using namespace ppg;
 
-void bm_agent_level_igt(benchmark::State& state) {
-  const std::size_t n = static_cast<std::size_t>(state.range(0));
-  const std::size_t k = 8;
-  const auto pop = abg_population::from_fractions(n, 0.1, 0.2, 0.7);
-  const igt_protocol proto(k);
-  simulation sim(proto,
-                 population(make_igt_population_states(pop, k, 0), 2 + k),
-                 rng(1));
-  for (auto _ : state) {
-    sim.step();
+// A census-form one-way IGT spec (no per-agent array) with GTFT levels
+// initialized at the rounded Theorem 2.7 stationary census, so every row
+// measures steady-state throughput rather than the all-stingy transient.
+sim_spec igt_spec(const igt_protocol& proto, std::uint64_t n, double alpha,
+                  double beta, double gamma) {
+  const auto pop = abg_population::from_fractions(n, alpha, beta, gamma);
+  const auto probs = igt_stationary_probs(pop, proto.k());
+  std::vector<std::uint64_t> counts(proto.num_states(), 0);
+  counts[igt_encoding::ac] = pop.num_ac;
+  counts[igt_encoding::ad] = pop.num_ad;
+  std::uint64_t placed = 0;
+  for (std::size_t j = 0; j + 1 < proto.k(); ++j) {
+    const auto c = static_cast<std::uint64_t>(
+        probs[j] * static_cast<double>(pop.num_gtft));
+    counts[igt_encoding::gtft(j)] = c;
+    placed += c;
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  counts[igt_encoding::gtft(proto.k() - 1)] = pop.num_gtft - placed;
+  return sim_spec(proto, std::move(counts));
 }
-BENCHMARK(bm_agent_level_igt)->Arg(100)->Arg(1000)->Arg(10000);
+
+// Interactions/sec of one engine on the one-way IGT kernel. The dense
+// configuration is the tree's default (alpha, beta, gamma) = (.1, .2, .7);
+// the dilute one (gamma = .05) is the regime where most interactions are
+// identities and the batched engine's geometric skip dominates.
+void engine_rows(benchmark::State& state, engine_kind kind, double gamma) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  const igt_protocol proto(8);
+  const sim_spec spec = igt_spec(proto, n, 1.0 - 0.2 - gamma, 0.2, gamma);
+  rng gen(1);
+  const auto engine = spec.make_engine(kind, gen);
+  constexpr std::uint64_t chunk = 8192;
+  for (auto _ : state) {
+    engine->run(chunk);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(chunk));
+}
+
+void bm_engine_igt(benchmark::State& state, engine_kind kind) {
+  engine_rows(state, kind, 0.7);
+}
+BENCHMARK_CAPTURE(bm_engine_igt, agent, engine_kind::agent)
+    ->Arg(10'000)
+    ->Arg(1'000'000);
+BENCHMARK_CAPTURE(bm_engine_igt, census, engine_kind::census)
+    ->Arg(10'000)
+    ->Arg(1'000'000)
+    ->Arg(100'000'000);
+BENCHMARK_CAPTURE(bm_engine_igt, batched, engine_kind::batched)
+    ->Arg(10'000)
+    ->Arg(1'000'000)
+    ->Arg(100'000'000);
+
+void bm_engine_igt_dilute(benchmark::State& state, engine_kind kind) {
+  engine_rows(state, kind, 0.05);
+}
+BENCHMARK_CAPTURE(bm_engine_igt_dilute, agent, engine_kind::agent)
+    ->Arg(1'000'000);
+BENCHMARK_CAPTURE(bm_engine_igt_dilute, census, engine_kind::census)
+    ->Arg(1'000'000)
+    ->Arg(100'000'000);
+BENCHMARK_CAPTURE(bm_engine_igt_dilute, batched, engine_kind::batched)
+    ->Arg(1'000'000)
+    ->Arg(100'000'000);
 
 void bm_igt_count_chain(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
@@ -138,3 +201,33 @@ void bm_rollout_game(benchmark::State& state) {
 BENCHMARK(bm_rollout_game);
 
 }  // namespace
+
+// Custom main so that `bench_throughput --smoke` maps to a short run of the
+// engine-comparison rows only (the CI regression check); all other arguments
+// pass through to google-benchmark unchanged.
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  bool smoke = false;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  // Only the filter is injected: --benchmark_min_time spellings differ
+  // across google-benchmark versions, and the default per-row budget keeps
+  // the smoke run under a minute.
+  char filter[] = "--benchmark_filter=bm_engine_igt";
+  if (smoke) {
+    args.push_back(filter);
+  }
+  int pruned_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&pruned_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(pruned_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,6 +1,7 @@
-// Exporting raw trajectories: runs the k-IGT dynamics and writes the level
-// census as CSV (via ppg::census_recorder) for external plotting — the raw
-// data behind figures like the welfare trajectories of bench A3.
+// Exporting raw trajectories: runs the k-IGT dynamics on the census engine
+// and writes the level census as CSV (via ppg::census_recorder) for
+// external plotting — the raw data behind figures like the welfare
+// trajectories of bench A3. The recorder accepts any engine kind.
 //
 // Usage: ./census_traces > trace.csv
 #include <iostream>
@@ -16,9 +17,10 @@ int main() {
   const std::size_t k = 5;
 
   const igt_protocol proto(k);
-  simulation sim(proto,
-                 population(make_igt_population_states(pop, k, 0), 2 + k),
-                 rng(99));
+  const sim_spec spec(proto,
+                      population(make_igt_population_states(pop, k, 0), 2 + k));
+  rng gen(99);
+  const auto sim = spec.make_engine(engine_kind::census, gen);
 
   std::vector<std::string> columns = {"AC", "AD"};
   for (std::size_t j = 1; j <= k; ++j) {
@@ -26,11 +28,11 @@ int main() {
   }
   census_recorder recorder(columns);
 
-  recorder.record(sim);
+  recorder.record(*sim);
   const std::uint64_t stride = pop.n();  // one unit of parallel time
   for (int step = 0; step < 100; ++step) {
-    sim.run(stride);
-    recorder.record(sim);
+    sim->run(stride);
+    recorder.record(*sim);
   }
   recorder.write_csv(std::cout);
 

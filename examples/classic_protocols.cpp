@@ -1,6 +1,9 @@
-// Substrate demonstration: the population-protocol engine running three
+// Substrate demonstration: the population-protocol engines running three
 // classic dynamics — approximate majority, leader election, and rumor
-// spreading — with their textbook convergence behavior.
+// spreading — with their textbook convergence behavior. Each block picks a
+// different execution backend through sim_spec::make_engine (census,
+// agent, batched); all three engines implement the same interaction law,
+// so the choice is purely a speed/memory trade-off (see DESIGN.md §3).
 #include <cmath>
 #include <cstddef>
 #include <iostream>
@@ -19,28 +22,27 @@ int main() {
   std::cout << "Population protocol engine demo, n = " << n << " agents, "
             << trials << " trials each.\n\n";
 
-  // --- Approximate majority from a 60/40 split.
+  // --- Approximate majority from a 60/40 split, on the census engine.
   {
+    const approximate_majority_protocol proto;
+    std::vector<std::uint64_t> counts(3, 0);
+    counts[approximate_majority_protocol::state_x] = 3 * n / 5;
+    counts[approximate_majority_protocol::state_y] = 2 * n / 5;
+    const sim_spec spec(proto, counts);
     running_summary steps;
     int majority_wins = 0;
     for (int t = 0; t < trials; ++t) {
-      std::vector<agent_state> states;
-      states.insert(states.end(), 3 * n / 5,
-                    approximate_majority_protocol::state_x);
-      states.insert(states.end(), 2 * n / 5,
-                    approximate_majority_protocol::state_y);
-      const approximate_majority_protocol proto;
-      simulation sim(proto, population(std::move(states), 3),
-                     rng(100 + static_cast<std::uint64_t>(t)));
-      sim.run_until(approximate_majority_protocol::has_consensus,
-                    200'000'000);
-      steps.add(sim.parallel_time());
-      if (sim.agents().count(approximate_majority_protocol::state_x) ==
-          sim.agents().size()) {
+      rng gen(100 + static_cast<std::uint64_t>(t));
+      const auto sim = spec.make_engine(engine_kind::census, gen);
+      sim->run_until(approximate_majority_protocol::has_consensus,
+                     200'000'000);
+      steps.add(sim->parallel_time());
+      if (sim->census().count(approximate_majority_protocol::state_x) ==
+          sim->population_size()) {
         ++majority_wins;
       }
     }
-    std::cout << "Approximate majority (60/40 split):\n"
+    std::cout << "Approximate majority (60/40 split, census engine):\n"
               << "  consensus in " << fmt(steps.mean(), 1) << " +- "
               << fmt(steps.ci_half_width(), 1)
               << " parallel time (theory: O(log n) = "
@@ -49,37 +51,42 @@ int main() {
               << " trials\n\n";
   }
 
-  // --- Leader election from all-leaders.
+  // --- Leader election from all-leaders, on the agent engine.
   {
+    const leader_election_protocol proto;
+    const sim_spec spec(
+        proto, population(n, leader_election_protocol::state_leader, 2));
     running_summary steps;
     for (int t = 0; t < trials; ++t) {
-      const leader_election_protocol proto;
-      simulation sim(
-          proto, population(n, leader_election_protocol::state_leader, 2),
-          rng(200 + static_cast<std::uint64_t>(t)));
-      sim.run_until(leader_election_protocol::has_unique_leader,
-                    200'000'000);
-      steps.add(sim.parallel_time());
+      rng gen(200 + static_cast<std::uint64_t>(t));
+      const auto sim = spec.make_engine(engine_kind::agent, gen);
+      sim->run_until(leader_election_protocol::has_unique_leader,
+                     200'000'000);
+      steps.add(sim->parallel_time());
     }
-    std::cout << "Leader election (pairwise demotion):\n"
+    std::cout << "Leader election (pairwise demotion, agent engine):\n"
               << "  unique leader in " << fmt(steps.mean(), 1) << " +- "
               << fmt(steps.ci_half_width(), 1)
               << " parallel time (theory: Theta(n) = " << n << ")\n\n";
   }
 
-  // --- Rumor spreading from a single informed agent.
+  // --- Rumor spreading from a single informed agent, on the batched
+  // engine: once few susceptible agents remain, almost every interaction is
+  // an identity the geometric batch skips.
   {
+    const rumor_protocol proto;
+    std::vector<std::uint64_t> counts(2, 0);
+    counts[rumor_protocol::state_susceptible] = n - 1;
+    counts[rumor_protocol::state_informed] = 1;
+    const sim_spec spec(proto, counts);
     running_summary steps;
     for (int t = 0; t < trials; ++t) {
-      std::vector<agent_state> states(n, rumor_protocol::state_susceptible);
-      states[0] = rumor_protocol::state_informed;
-      const rumor_protocol proto;
-      simulation sim(proto, population(std::move(states), 2),
-                     rng(300 + static_cast<std::uint64_t>(t)));
-      sim.run_until(rumor_protocol::all_informed, 200'000'000);
-      steps.add(sim.parallel_time());
+      rng gen(300 + static_cast<std::uint64_t>(t));
+      const auto sim = spec.make_engine(engine_kind::batched, gen);
+      sim->run_until(rumor_protocol::all_informed, 200'000'000);
+      steps.add(sim->parallel_time());
     }
-    std::cout << "Rumor spreading (one-way push):\n"
+    std::cout << "Rumor spreading (one-way push, batched engine):\n"
               << "  fully informed in " << fmt(steps.mean(), 1) << " +- "
               << fmt(steps.ci_half_width(), 1)
               << " parallel time (theory: Theta(log n) growth + coupon tail)"

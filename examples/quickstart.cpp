@@ -3,11 +3,13 @@
 // the closed-form stationary law of Theorem 2.7.
 //
 // The measurement runs as a batch of 4 independent replicas on the
-// batch-replication engine: one sim_spec describes the experiment, the
-// engine fans the replicas across a worker pool (deterministically — the
-// numbers below are bit-identical at any thread count), and the census
-// aggregator reduces them to a mean estimate with replica-level confidence
-// intervals.
+// batch-replication engine: one sim_spec describes the experiment, an
+// engine_kind picks the execution backend (here the census engine, which
+// simulates the count vector directly — same law as the agent-level loop,
+// no per-agent state), the batch engine fans the replicas across a worker
+// pool (deterministically — the numbers below are bit-identical at any
+// thread count), and the census aggregator reduces them to a mean estimate
+// with replica-level confidence intervals.
 //
 // Build & run:   ./build/examples/quickstart
 #include <cstddef>
@@ -47,21 +49,14 @@ int main() {
             << fmt_count(burn) << " burn-in + " << fmt_count(samples)
             << " sampled interactions each) on the batch engine...\n";
 
-  const auto batch = replicate_census(
-      opts, [&](const replica_context&, rng& gen) {
-        simulation sim = spec.instantiate(gen);
-        sim.run(burn);
-        std::vector<double> occupancy(k, 0.0);
-        for (std::uint64_t i = 0; i < samples; ++i) {
-          sim.step();
-          const auto census = gtft_level_counts(sim.agents(), k);
-          for (std::size_t j = 0; j < k; ++j) {
-            occupancy[j] += static_cast<double>(census[j]);
-          }
-        }
-        for (auto& x : occupancy) {
-          x /= static_cast<double>(samples) *
-               static_cast<double>(pop.num_gtft);
+  const auto batch = replicate_time_averaged_census(
+      spec, engine_kind::census, burn, samples, opts,
+      [&](const census_view& census) {
+        const auto z = gtft_level_counts(census, k);
+        std::vector<double> occupancy(k);
+        for (std::size_t j = 0; j < k; ++j) {
+          occupancy[j] = static_cast<double>(z[j]) /
+                         static_cast<double>(pop.num_gtft);
         }
         return occupancy;
       });

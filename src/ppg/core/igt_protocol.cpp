@@ -46,6 +46,16 @@ std::pair<agent_state, agent_state> igt_protocol::interact(
   return {next_initiator, next_responder};
 }
 
+std::vector<outcome> igt_protocol::outcome_distribution(
+    agent_state initiator, agent_state responder) const {
+  const agent_state next_initiator = updated_level(initiator, responder);
+  const agent_state next_responder =
+      discipline_ == igt_discipline::two_way
+          ? updated_level(responder, initiator)
+          : responder;
+  return {{next_initiator, next_responder, 1.0}};
+}
+
 std::string igt_protocol::state_name(agent_state state) const {
   if (state == igt_encoding::ac) return "AC";
   if (state == igt_encoding::ad) return "AD";
@@ -131,7 +141,7 @@ std::vector<agent_state> make_igt_population_states(
           pop.num_gtft, static_cast<std::uint32_t>(uniform_level)));
 }
 
-std::vector<std::uint64_t> gtft_level_counts(const population& agents,
+std::vector<std::uint64_t> gtft_level_counts(const census_view& agents,
                                              std::size_t k) {
   std::vector<std::uint64_t> counts(k, 0);
   for (std::size_t level = 0; level < k; ++level) {

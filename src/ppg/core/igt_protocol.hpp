@@ -51,6 +51,13 @@ class igt_protocol final : public protocol {
   [[nodiscard]] std::size_t k() const { return k_; }
   [[nodiscard]] igt_discipline discipline() const { return discipline_; }
   [[nodiscard]] std::size_t num_states() const override { return 2 + k_; }
+  [[nodiscard]] bool has_kernel() const override { return true; }
+
+  /// Definition 2.1 is deterministic: a single support point per pair. The
+  /// kernel view is what the census and batched engines execute; it is
+  /// cross-checked against igt_count_chain (equation (5)) in the tests.
+  [[nodiscard]] std::vector<outcome> outcome_distribution(
+      agent_state initiator, agent_state responder) const override;
 
   [[nodiscard]] std::pair<agent_state, agent_state> interact(
       agent_state initiator, agent_state responder,
@@ -103,8 +110,10 @@ class igt_action_protocol final : public protocol {
     const abg_population& pop, std::size_t k, std::size_t uniform_level);
 
 /// Extracts the GTFT level census (length-k count vector, the z_t of the
-/// paper) from a population simulated under either IGT protocol.
+/// paper) from the census of a simulation run under either IGT protocol.
+/// Accepts any engine's census() as well as a population (implicitly
+/// viewed).
 [[nodiscard]] std::vector<std::uint64_t> gtft_level_counts(
-    const population& agents, std::size_t k);
+    const census_view& agents, std::size_t k);
 
 }  // namespace ppg

@@ -12,7 +12,11 @@
 // Every Monte-Carlo experiment in the paper (stationary censuses, cutoff
 // profiles, coupling tails, ε-Nash trajectories) is "replicate + reduce";
 // this engine is the single replication loop the bench/ and examples/
-// drivers share instead of hand-rolling their own.
+// drivers share instead of hand-rolling their own. Replica bodies typically
+// build a simulation engine from a shared sim_spec —
+// `spec.make_engine(kind, gen)` — so the execution backend (agent, census,
+// batched) is one more replicated parameter; see replicate.hpp for the
+// packaged shapes.
 #pragma once
 
 #include <algorithm>

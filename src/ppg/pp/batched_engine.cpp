@@ -1,0 +1,143 @@
+#include "ppg/pp/batched_engine.hpp"
+
+#include "ppg/util/error.hpp"
+
+namespace ppg {
+
+batched_engine::batched_engine(const protocol& proto,
+                               std::vector<std::uint64_t> initial_counts,
+                               rng gen, pair_sampling sampling)
+    : kernel_(proto), counts_(std::move(initial_counts)), n_(0), gen_(gen) {
+  PPG_CHECK(sampling == pair_sampling::distinct,
+            "batched engine supports pair_sampling::distinct only; use the "
+            "census engine for with_replacement sampling");
+  PPG_CHECK(counts_.size() >= kernel_.num_states(),
+            "census state space smaller than the protocol's");
+  for (std::size_t s = 0; s < counts_.size(); ++s) {
+    PPG_CHECK(s < kernel_.num_states() || counts_[s] == 0,
+              "batched engine: agents in states outside the protocol's space");
+    n_ += counts_[s];
+  }
+  PPG_CHECK(n_ >= 2, "a protocol needs at least two agents");
+  // c_u * c_v must not overflow: n^2 < 2^63 keeps every weight and the
+  // non-identity mass (at most n(n-1) total) in range.
+  PPG_CHECK(n_ <= 3'000'000'000ull, "batched engine caps n at 3e9");
+  const std::size_t q = kernel_.num_states();
+  responder_in_row_.assign(q * q, 0);
+  rows_with_responder_.assign(q, {});
+  row_responder_sum_.assign(q, 0);
+  for (agent_state u = 0; u < q; ++u) {
+    bool row_active = false;
+    for (agent_state v = 0; v < q; ++v) {
+      if (kernel_.identity(u, v)) continue;
+      row_active = true;
+      responder_in_row_[u * q + v] = 1;
+      rows_with_responder_[v].push_back(u);
+      row_responder_sum_[u] += counts_[v];
+    }
+    if (row_active) active_rows_.push_back(u);
+  }
+}
+
+std::uint64_t batched_engine::row_weight(std::size_t row) const {
+  const std::size_t q = kernel_.num_states();
+  const std::uint64_t self = responder_in_row_[row * q + row];
+  return counts_[row] * (row_responder_sum_[row] - self);
+}
+
+std::uint64_t batched_engine::active_weight() const {
+  std::uint64_t active = 0;
+  for (const auto u : active_rows_) {
+    active += row_weight(u);
+  }
+  return active;
+}
+
+void batched_engine::add_count(agent_state state, std::int64_t delta) {
+  counts_[state] = static_cast<std::uint64_t>(
+      static_cast<std::int64_t>(counts_[state]) + delta);
+  for (const auto u : rows_with_responder_[state]) {
+    row_responder_sum_[u] = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(row_responder_sum_[u]) + delta);
+  }
+}
+
+void batched_engine::apply_active(std::uint64_t active) {
+  const std::size_t q = kernel_.num_states();
+  std::uint64_t target = gen_.next_below(active);
+  for (const auto u : active_rows_) {
+    const std::uint64_t w = row_weight(u);
+    if (target >= w) {
+      target -= w;
+      continue;
+    }
+    // Row u holds the interaction. Decompose target = slot * row_sum + r:
+    // the remainder r is uniform over the responder slots of the row and
+    // independent of the (discarded) initiator-agent slot.
+    const std::uint64_t self = responder_in_row_[u * q + u];
+    const std::uint64_t row_sum = row_responder_sum_[u] - self;
+    std::uint64_t r = target % row_sum;
+    for (agent_state v = 0; v < q; ++v) {
+      if (!responder_in_row_[u * q + v]) continue;
+      const std::uint64_t c = counts_[v] - (v == u ? 1u : 0u);
+      if (r >= c) {
+        r -= c;
+        continue;
+      }
+      const auto [next_initiator, next_responder] = kernel_.sample(u, v, gen_);
+      add_count(u, -1);
+      add_count(v, -1);
+      add_count(next_initiator, 1);
+      add_count(next_responder, 1);
+      return;
+    }
+    break;
+  }
+  PPG_CHECK(false, "active pair sampling target out of range");
+}
+
+void batched_engine::step() { run(1); }
+
+std::uint64_t batched_engine::advance_batch(std::uint64_t budget) {
+  const std::uint64_t active = active_weight();
+  if (active == 0) {
+    // Every reachable interaction is an identity: the census is frozen, so
+    // the whole budget elapses without a change.
+    interactions_ += budget;
+    return budget;
+  }
+  const double total = static_cast<double>(n_) * static_cast<double>(n_ - 1);
+  const double p = static_cast<double>(active) / total;
+  // Identity interactions before the next census change; geometric
+  // memorylessness lets us redraw when a previous batch was truncated at a
+  // step budget.
+  const std::uint64_t skip = p >= 1.0 ? 0ull : gen_.next_geometric(p);
+  if (skip >= budget) {
+    interactions_ += budget;
+    return budget;
+  }
+  interactions_ += skip + 1;
+  apply_active(active);
+  return skip + 1;
+}
+
+void batched_engine::run(std::uint64_t steps) {
+  std::uint64_t remaining = steps;
+  while (remaining > 0) {
+    remaining -= advance_batch(remaining);
+  }
+}
+
+std::uint64_t batched_engine::run_until(const census_predicate& converged,
+                                        std::uint64_t max_steps) {
+  std::uint64_t executed = 0;
+  // The census is unchanged across the skipped identity interactions, so
+  // checking the predicate once per batch is exact.
+  while (executed < max_steps) {
+    if (converged(census())) return executed;
+    executed += advance_batch(max_steps - executed);
+  }
+  return executed;
+}
+
+}  // namespace ppg

@@ -1,0 +1,87 @@
+// The batched engine: census-level execution that advances through runs of
+// *identity* interactions — ordered state pairs whose kernel is a point mass
+// on the pair itself, so they can never change any state — in a single
+// geometric draw, instead of sampling them one by one. Between two census
+// changes the census is constant, hence the number of identity interactions
+// before the next non-identity one is Geometric(p) with p the current
+// probability mass of non-identity pairs; geometric memorylessness makes
+// truncating a batch at a step budget lawful. For kernels whose interactions
+// are mostly no-ops — e.g. the one-way k-IGT dynamics, where any interaction
+// whose initiator is AC or AD is an identity — this executes far less than
+// one sampling operation per interaction (DESIGN.md §3).
+//
+// Non-identity mass is tracked in row-collapsed form: for each initiator
+// state u, S_u is the (static, kernel-derived) set of responder states v
+// with a non-identity pair (u, v), and R_u = sum of counts over S_u is
+// maintained incrementally as counts change, so recomputing the total
+// non-identity weight is O(q) per census change rather than O(q^2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ppg/pp/engine.hpp"
+#include "ppg/pp/kernel.hpp"
+
+namespace ppg {
+
+class batched_engine final : public sim_engine {
+ public:
+  /// Same contract as census_engine, but restricted to
+  /// pair_sampling::distinct (the standard PP scheduler). Population sizes
+  /// up to ~3e9 are supported: pair weights c_u * c_v must fit in 64 bits.
+  batched_engine(const protocol& proto,
+                 std::vector<std::uint64_t> initial_counts, rng gen,
+                 pair_sampling sampling = pair_sampling::distinct);
+
+  void step() override;
+  void run(std::uint64_t steps) override;
+  std::uint64_t run_until(const census_predicate& converged,
+                          std::uint64_t max_steps) override;
+
+  [[nodiscard]] census_view census() const override { return {counts_, n_}; }
+  [[nodiscard]] std::uint64_t interactions() const override {
+    return interactions_;
+  }
+  [[nodiscard]] engine_kind kind() const override {
+    return engine_kind::batched;
+  }
+
+ private:
+  /// Number of ordered agent pairs realizing initiator row u: the weight of
+  /// row u is c_u * (R_u - [u in S_u]).
+  [[nodiscard]] std::uint64_t row_weight(std::size_t row) const;
+
+  /// Total weight of non-identity pairs; the next census change is
+  /// interaction Geometric(active / (n(n-1))) + 1 from now.
+  [[nodiscard]] std::uint64_t active_weight() const;
+
+  /// Samples and applies one non-identity interaction (conditional on the
+  /// current step being one); `active` is the precomputed active_weight().
+  void apply_active(std::uint64_t active);
+
+  /// Advances by one batch — the geometric run of identity interactions
+  /// plus, if it falls inside `budget`, the next census change — and
+  /// returns the interactions consumed (always in (0, budget]). A frozen
+  /// census (no non-identity mass) consumes the whole budget.
+  [[nodiscard]] std::uint64_t advance_batch(std::uint64_t budget);
+
+  /// Count update that maintains the row responder sums R_u.
+  void add_count(agent_state state, std::int64_t delta);
+
+  kernel_table kernel_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t n_;
+  rng gen_;
+  std::uint64_t interactions_ = 0;
+  /// Initiator states with at least one non-identity pair.
+  std::vector<agent_state> active_rows_;
+  /// q*q flags: responder_in_row_[u*q + v] iff (u, v) is non-identity.
+  std::vector<std::uint8_t> responder_in_row_;
+  /// For each state w, the initiator rows u with w in S_u.
+  std::vector<std::vector<agent_state>> rows_with_responder_;
+  /// R_u = sum of counts over S_u, maintained incrementally.
+  std::vector<std::uint64_t> row_responder_sum_;
+};
+
+}  // namespace ppg

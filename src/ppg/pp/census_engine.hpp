@@ -1,0 +1,54 @@
+// The census engine: simulation state is the per-state count vector only —
+// no per-agent array — so memory and per-step cost are O(q) in the number of
+// protocol states and independent of the population size n. Each step
+// samples an ordered *state* pair directly from the counts, in exactly the
+// law induced by the requested pair_sampling discipline over agents, then
+// samples the kernel outcome and updates four counts. This unlocks
+// populations in the hundreds of millions of agents (DESIGN.md §3).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ppg/pp/engine.hpp"
+#include "ppg/pp/kernel.hpp"
+
+namespace ppg {
+
+class census_engine final : public sim_engine {
+ public:
+  /// `initial_counts[s]` is the number of agents starting in state s; its
+  /// length is the census width (may exceed the protocol's state count, but
+  /// states outside the protocol's space must be empty). The protocol must
+  /// expose a kernel and must outlive the engine.
+  census_engine(const protocol& proto,
+                std::vector<std::uint64_t> initial_counts, rng gen,
+                pair_sampling sampling = pair_sampling::distinct);
+
+  void step() override;
+  void run(std::uint64_t steps) override;
+
+  [[nodiscard]] census_view census() const override { return {counts_, n_}; }
+  [[nodiscard]] std::uint64_t interactions() const override {
+    return interactions_;
+  }
+  [[nodiscard]] engine_kind kind() const override {
+    return engine_kind::census;
+  }
+
+ private:
+  /// The state holding the `target`-th agent (0-indexed) when agents are
+  /// ordered by state; `excluded` removes one agent of that state first
+  /// (agent_state(-1) removes none).
+  [[nodiscard]] agent_state locate(std::uint64_t target,
+                                   agent_state excluded) const;
+
+  kernel_table kernel_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t n_;
+  rng gen_;
+  pair_sampling sampling_;
+  std::uint64_t interactions_ = 0;
+};
+
+}  // namespace ppg

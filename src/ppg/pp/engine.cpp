@@ -1,0 +1,57 @@
+#include "ppg/pp/engine.hpp"
+
+#include <algorithm>
+
+#include "ppg/util/error.hpp"
+
+namespace ppg {
+
+const char* engine_kind_name(engine_kind kind) {
+  switch (kind) {
+    case engine_kind::agent:
+      return "agent";
+    case engine_kind::census:
+      return "census";
+    case engine_kind::batched:
+      return "batched";
+  }
+  return "unknown";
+}
+
+void sim_engine::run(std::uint64_t steps) {
+  for (std::uint64_t i = 0; i < steps; ++i) {
+    step();
+  }
+}
+
+std::uint64_t sim_engine::run_until(const census_predicate& converged,
+                                    std::uint64_t max_steps) {
+  std::uint64_t executed = 0;
+  while (executed < max_steps && !converged(census())) {
+    step();
+    ++executed;
+  }
+  return executed;
+}
+
+std::vector<census_snapshot> sim_engine::run_with_snapshots(
+    std::uint64_t steps, std::uint64_t snapshot_every) {
+  PPG_CHECK(snapshot_every > 0, "snapshot interval must be positive");
+  std::vector<census_snapshot> snapshots;
+  std::uint64_t done = 0;
+  while (done < steps) {
+    const std::uint64_t chunk = std::min(snapshot_every, steps - done);
+    run(chunk);
+    done += chunk;
+    snapshots.push_back({interactions(), census().counts()});
+  }
+  return snapshots;
+}
+
+double sim_engine::parallel_time() const {
+  const census_view now = census();
+  return static_cast<double>(interactions()) /
+         static_cast<double>(now.population_size());
+}
+
+}  // namespace ppg

@@ -1,0 +1,80 @@
+// The uniform simulation-engine interface: every execution backend —
+// agent-level loop, census-only sampler, batched geometric-skip sampler —
+// exposes the same surface (step / run / run_until / run_with_snapshots /
+// census / interactions / parallel_time), so drivers and experiments are
+// written once and the backend is a runtime choice (sim_spec::make_engine).
+// See DESIGN.md §3 for the engine architecture.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ppg/pp/census.hpp"
+
+namespace ppg {
+
+/// Which execution backend runs a sim_spec.
+enum class engine_kind : std::uint8_t {
+  agent,    ///< per-agent state array, one protocol::interact per step
+  census,   ///< count vector only; samples the ordered *state* pair in O(q)
+  batched,  ///< census + geometric batches that skip identity interactions
+};
+
+[[nodiscard]] const char* engine_kind_name(engine_kind kind);
+
+/// Interface of a running simulation. All engines implement the exact same
+/// interaction law for a given (protocol, initial census, pair_sampling)
+/// triple — they differ only in state representation and per-interaction
+/// cost, so results are exchangeable at the distribution level (engines
+/// consume random draws differently, so trajectories are not bitwise equal
+/// across kinds; see DESIGN.md §3).
+class sim_engine {
+ public:
+  sim_engine() = default;
+  virtual ~sim_engine() = default;
+
+  /// Executes one interaction.
+  virtual void step() = 0;
+
+  /// Executes `steps` interactions. Engines override this when they can
+  /// advance faster than step-at-a-time (the batched engine skips runs of
+  /// identity interactions in one geometric draw).
+  virtual void run(std::uint64_t steps);
+
+  /// Runs until `converged(census())` is true or `max_steps` is reached;
+  /// returns the number of interactions executed in this call.
+  virtual std::uint64_t run_until(const census_predicate& converged,
+                                  std::uint64_t max_steps);
+
+  /// Runs `steps` interactions, recording a census every `snapshot_every`
+  /// interactions (including one at the end).
+  [[nodiscard]] virtual std::vector<census_snapshot> run_with_snapshots(
+      std::uint64_t steps, std::uint64_t snapshot_every);
+
+  /// The current census.
+  [[nodiscard]] virtual census_view census() const = 0;
+
+  /// Total interactions executed since construction.
+  [[nodiscard]] virtual std::uint64_t interactions() const = 0;
+
+  /// Which backend this is.
+  [[nodiscard]] virtual engine_kind kind() const = 0;
+
+  [[nodiscard]] std::uint64_t population_size() const {
+    return census().population_size();
+  }
+
+  /// Parallel time: interactions / n (standard PP normalization).
+  [[nodiscard]] double parallel_time() const;
+
+ protected:
+  /// Copy/move are protected: concrete engines stay copyable (simulation is
+  /// returned by value), but copying or assigning through a sim_engine&
+  /// would slice away the derived state.
+  sim_engine(const sim_engine&) = default;
+  sim_engine(sim_engine&&) = default;
+  sim_engine& operator=(const sim_engine&) = default;
+  sim_engine& operator=(sim_engine&&) = default;
+};
+
+}  // namespace ppg

@@ -1,0 +1,64 @@
+#include "ppg/pp/kernel.hpp"
+
+#include <cmath>
+
+#include "ppg/util/error.hpp"
+
+namespace ppg {
+
+kernel_table::kernel_table(const protocol& proto) : q_(proto.num_states()) {
+  PPG_CHECK(proto.has_kernel(),
+            "protocol exposes no transition kernel; census/batched engines "
+            "require outcome_distribution (agent engine works without one)");
+  PPG_CHECK(q_ >= 1, "protocol must have at least one state");
+  offsets_.reserve(q_ * q_ + 1);
+  identity_.assign(q_ * q_, 0);
+  offsets_.push_back(0);
+  for (agent_state i = 0; i < q_; ++i) {
+    for (agent_state r = 0; r < q_; ++r) {
+      const auto dist = proto.outcome_distribution(i, r);
+      PPG_CHECK(!dist.empty(), "empty outcome distribution");
+      double total = 0.0;
+      bool is_identity = true;
+      for (const auto& o : dist) {
+        PPG_CHECK(o.initiator < q_ && o.responder < q_,
+                  "kernel outcome state out of range");
+        PPG_CHECK(o.probability > 0.0, "kernel probabilities must be > 0");
+        total += o.probability;
+        entries_.push_back({o.initiator, o.responder, total});
+        is_identity = is_identity && o.initiator == i && o.responder == r;
+      }
+      PPG_CHECK(std::abs(total - 1.0) <= 1e-9,
+                "kernel probabilities must sum to 1");
+      if (dist.size() > 1) fully_deterministic_ = false;
+      identity_[index(i, r)] = is_identity ? 1 : 0;
+      offsets_.push_back(static_cast<std::uint32_t>(entries_.size()));
+    }
+  }
+}
+
+bool kernel_table::deterministic(agent_state initiator,
+                                 agent_state responder) const {
+  const std::size_t pair = index(initiator, responder);
+  return offsets_[pair + 1] - offsets_[pair] == 1;
+}
+
+std::pair<agent_state, agent_state> kernel_table::sample(
+    agent_state initiator, agent_state responder, rng& gen) const {
+  const std::size_t pair = index(initiator, responder);
+  const std::uint32_t begin = offsets_[pair];
+  const std::uint32_t end = offsets_[pair + 1];
+  if (end - begin == 1) {
+    const entry& o = entries_[begin];
+    return {o.initiator, o.responder};
+  }
+  const double u = gen.next_double();
+  for (std::uint32_t e = begin; e + 1 < end; ++e) {
+    if (u < entries_[e].cumulative) {
+      return {entries_[e].initiator, entries_[e].responder};
+    }
+  }
+  return {entries_[end - 1].initiator, entries_[end - 1].responder};
+}
+
+}  // namespace ppg

@@ -1,0 +1,69 @@
+// Precomputed transition-kernel table: the full outcome distribution of a
+// protocol, enumerated once over all ordered state pairs and validated
+// against the kernel contract (DESIGN.md §2). The census and batched
+// engines sample from this table instead of calling protocol::interact, so
+// per-interaction work is independent of the population size.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "ppg/pp/simulator.hpp"
+#include "ppg/util/rng.hpp"
+
+namespace ppg {
+
+/// Flattened, validated kernel of a protocol over its q = num_states()
+/// ordered state pairs. Construction checks, for every pair, that outcome
+/// states are in range and probabilities are positive and sum to 1 (up to
+/// 1e-9); deterministic pairs (a single support point) are sampled without
+/// consuming random draws.
+class kernel_table {
+ public:
+  explicit kernel_table(const protocol& proto);
+
+  [[nodiscard]] std::size_t num_states() const { return q_; }
+
+  /// Whether the pair's distribution is a point mass on (initiator,
+  /// responder) itself — the interaction can never change any state.
+  [[nodiscard]] bool identity(agent_state initiator,
+                              agent_state responder) const {
+    return identity_[index(initiator, responder)];
+  }
+
+  /// Whether the pair's distribution has a single support point.
+  [[nodiscard]] bool deterministic(agent_state initiator,
+                                   agent_state responder) const;
+
+  /// Whether every pair is deterministic.
+  [[nodiscard]] bool fully_deterministic() const {
+    return fully_deterministic_;
+  }
+
+  /// Samples (q_i', q_r') for the ordered pair; consumes one uniform draw
+  /// only when the pair has more than one support point.
+  [[nodiscard]] std::pair<agent_state, agent_state> sample(
+      agent_state initiator, agent_state responder, rng& gen) const;
+
+ private:
+  struct entry {
+    agent_state initiator = 0;
+    agent_state responder = 0;
+    double cumulative = 0.0;  ///< inclusive cumulative probability
+  };
+
+  [[nodiscard]] std::size_t index(agent_state initiator,
+                                  agent_state responder) const {
+    return static_cast<std::size_t>(initiator) * q_ +
+           static_cast<std::size_t>(responder);
+  }
+
+  std::size_t q_;
+  std::vector<std::uint32_t> offsets_;  ///< q_*q_ + 1 entry offsets
+  std::vector<entry> entries_;
+  std::vector<std::uint8_t> identity_;
+  bool fully_deterministic_ = true;
+};
+
+}  // namespace ppg

@@ -27,6 +27,12 @@ agent_state population::state_of(std::size_t agent) const {
 void population::set_state(std::size_t agent, agent_state next) {
   PPG_CHECK(agent < states_.size(), "agent index out of range");
   PPG_CHECK(next < counts_.size(), "agent state out of range");
+  apply_interaction(agent, next);
+}
+
+void population::apply_interaction(std::size_t agent, agent_state next) {
+  PPG_DCHECK(agent < states_.size(), "agent index out of range");
+  PPG_DCHECK(next < counts_.size(), "agent state out of range");
   const agent_state prev = states_[agent];
   if (prev == next) return;
   --counts_[prev];

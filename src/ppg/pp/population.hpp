@@ -24,6 +24,14 @@ class population {
   [[nodiscard]] agent_state state_of(std::size_t agent) const;
   void set_state(std::size_t agent, agent_state next);
 
+  /// Hot-path variant of set_state for the simulation loop: preconditions
+  /// (`agent < size()`, `next < num_state_kinds()`) are validated via
+  /// ppg::invariant_error in debug builds only. An out-of-range `next` would
+  /// otherwise silently corrupt the census counts; callers must guarantee
+  /// the bounds (the engines do, via construction-time checks and the
+  /// kernel-table contract).
+  void apply_interaction(std::size_t agent, agent_state next);
+
   /// Number of agents currently in `state`.
   [[nodiscard]] std::uint64_t count(agent_state state) const;
 

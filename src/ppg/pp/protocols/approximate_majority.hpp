@@ -22,6 +22,10 @@ class approximate_majority_protocol final : public protocol {
   static constexpr agent_state state_blank = 2;
 
   [[nodiscard]] std::size_t num_states() const override { return 3; }
+  [[nodiscard]] bool has_kernel() const override { return true; }
+
+  [[nodiscard]] std::vector<outcome> outcome_distribution(
+      agent_state initiator, agent_state responder) const override;
 
   [[nodiscard]] std::pair<agent_state, agent_state> interact(
       agent_state initiator, agent_state responder,
@@ -30,7 +34,7 @@ class approximate_majority_protocol final : public protocol {
   [[nodiscard]] std::string state_name(agent_state state) const override;
 
   /// Convergence predicate: every agent holds the same non-blank opinion.
-  [[nodiscard]] static bool has_consensus(const population& agents);
+  [[nodiscard]] static bool has_consensus(const census_view& agents);
 };
 
 }  // namespace ppg

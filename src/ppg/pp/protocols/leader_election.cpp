@@ -2,19 +2,36 @@
 
 namespace ppg {
 
-std::pair<agent_state, agent_state> leader_election_protocol::interact(
-    agent_state initiator, agent_state responder, rng& /*gen*/) const {
-  if (initiator == state_leader && responder == state_leader) {
-    return {state_leader, state_follower};
+namespace {
+
+std::pair<agent_state, agent_state> transition(agent_state initiator,
+                                               agent_state responder) {
+  using lep = leader_election_protocol;
+  if (initiator == lep::state_leader && responder == lep::state_leader) {
+    return {lep::state_leader, lep::state_follower};
   }
   return {initiator, responder};
+}
+
+}  // namespace
+
+std::vector<outcome> leader_election_protocol::outcome_distribution(
+    agent_state initiator, agent_state responder) const {
+  const auto [next_initiator, next_responder] =
+      transition(initiator, responder);
+  return {{next_initiator, next_responder, 1.0}};
+}
+
+std::pair<agent_state, agent_state> leader_election_protocol::interact(
+    agent_state initiator, agent_state responder, rng& /*gen*/) const {
+  return transition(initiator, responder);
 }
 
 std::string leader_election_protocol::state_name(agent_state state) const {
   return state == state_leader ? "L" : "F";
 }
 
-bool leader_election_protocol::has_unique_leader(const population& agents) {
+bool leader_election_protocol::has_unique_leader(const census_view& agents) {
   return agents.count(state_leader) == 1;
 }
 

@@ -15,6 +15,10 @@ class leader_election_protocol final : public protocol {
   static constexpr agent_state state_follower = 1;
 
   [[nodiscard]] std::size_t num_states() const override { return 2; }
+  [[nodiscard]] bool has_kernel() const override { return true; }
+
+  [[nodiscard]] std::vector<outcome> outcome_distribution(
+      agent_state initiator, agent_state responder) const override;
 
   [[nodiscard]] std::pair<agent_state, agent_state> interact(
       agent_state initiator, agent_state responder,
@@ -23,7 +27,7 @@ class leader_election_protocol final : public protocol {
   [[nodiscard]] std::string state_name(agent_state state) const override;
 
   /// Convergence predicate: exactly one leader remains.
-  [[nodiscard]] static bool has_unique_leader(const population& agents);
+  [[nodiscard]] static bool has_unique_leader(const census_view& agents);
 };
 
 }  // namespace ppg

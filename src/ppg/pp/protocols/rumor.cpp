@@ -2,21 +2,36 @@
 
 namespace ppg {
 
-std::pair<agent_state, agent_state> rumor_protocol::interact(
-    agent_state initiator, agent_state responder, rng& /*gen*/) const {
-  if (initiator == state_informed) {
-    return {initiator, state_informed};
+namespace {
+
+std::pair<agent_state, agent_state> transition(agent_state initiator,
+                                               agent_state responder) {
+  if (initiator == rumor_protocol::state_informed) {
+    return {initiator, rumor_protocol::state_informed};
   }
   return {initiator, responder};
+}
+
+}  // namespace
+
+std::vector<outcome> rumor_protocol::outcome_distribution(
+    agent_state initiator, agent_state responder) const {
+  const auto [next_initiator, next_responder] =
+      transition(initiator, responder);
+  return {{next_initiator, next_responder, 1.0}};
+}
+
+std::pair<agent_state, agent_state> rumor_protocol::interact(
+    agent_state initiator, agent_state responder, rng& /*gen*/) const {
+  return transition(initiator, responder);
 }
 
 std::string rumor_protocol::state_name(agent_state state) const {
   return state == state_informed ? "I" : "S";
 }
 
-bool rumor_protocol::all_informed(const population& agents) {
-  return agents.count(state_informed) ==
-         static_cast<std::uint64_t>(agents.size());
+bool rumor_protocol::all_informed(const census_view& agents) {
+  return agents.count(state_informed) == agents.population_size();
 }
 
 }  // namespace ppg

@@ -14,6 +14,10 @@ class rumor_protocol final : public protocol {
   static constexpr agent_state state_informed = 1;
 
   [[nodiscard]] std::size_t num_states() const override { return 2; }
+  [[nodiscard]] bool has_kernel() const override { return true; }
+
+  [[nodiscard]] std::vector<outcome> outcome_distribution(
+      agent_state initiator, agent_state responder) const override;
 
   [[nodiscard]] std::pair<agent_state, agent_state> interact(
       agent_state initiator, agent_state responder,
@@ -21,7 +25,7 @@ class rumor_protocol final : public protocol {
 
   [[nodiscard]] std::string state_name(agent_state state) const override;
 
-  [[nodiscard]] static bool all_informed(const population& agents);
+  [[nodiscard]] static bool all_informed(const census_view& agents);
 };
 
 }  // namespace ppg

@@ -6,10 +6,17 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 #include "ppg/util/rng.hpp"
 
 namespace ppg {
+
+/// How the scheduler draws the interacting pair (DESIGN.md §4).
+enum class pair_sampling : std::uint8_t {
+  distinct,          ///< ordered pair of distinct agents (standard PP model)
+  with_replacement,  ///< independent draws (paper's idealized probabilities)
+};
 
 /// One scheduled interaction.
 struct interaction {

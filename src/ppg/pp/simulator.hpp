@@ -1,23 +1,47 @@
-// The population protocol simulator: repeatedly schedules a random ordered
-// pair and applies a protocol's transition function. Supports convergence
-// predicates, periodic census snapshots, and both pair-sampling disciplines.
+// The population protocol simulation API. A protocol is described once by
+// its state-pair transition kernel (outcome_distribution), and interchangeable
+// engines execute it: the agent-level loop below (class simulation), plus the
+// census and batched engines selected through sim_spec::make_engine. See
+// DESIGN.md §2-§3 for the kernel contract and the engine architecture.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "ppg/pp/engine.hpp"
 #include "ppg/pp/population.hpp"
 #include "ppg/pp/scheduler.hpp"
 #include "ppg/util/rng.hpp"
 
 namespace ppg {
 
-/// A population protocol: a transition function over pairs of states.
-/// Protocols may be randomized (they receive the simulation's generator).
-/// One-way protocols simply return the responder's state unchanged.
+/// One support point of a transition kernel: the post-interaction
+/// (initiator, responder) states and their probability.
+struct outcome {
+  agent_state initiator = 0;
+  agent_state responder = 0;
+  double probability = 1.0;
+};
+
+/// A population protocol: a (possibly randomized) transition function over
+/// ordered pairs of states.
+///
+/// Protocols have two equivalent descriptions and may implement either:
+///  - the *kernel view*: outcome_distribution(q_i, q_r) enumerates the finite
+///    distribution over post-interaction pairs (override it and has_kernel);
+///    interact() then defaults to sampling that distribution, so kernel
+///    protocols only write one function;
+///  - the *sampling view*: interact(q_i, q_r, gen) draws the post-interaction
+///    pair directly. Protocols whose randomness is impractical to enumerate
+///    (e.g. igt_action_protocol's repeated-game rollouts) implement only this
+///    and are restricted to the agent engine.
+/// Deterministic protocols get a fast path for free: a single-support-point
+/// distribution is applied without consuming random draws.
 class protocol {
  public:
   virtual ~protocol() = default;
@@ -28,53 +52,55 @@ class protocol {
   /// Size of the local state space.
   [[nodiscard]] virtual std::size_t num_states() const = 0;
 
-  /// New (initiator, responder) states after an interaction.
+  /// Whether outcome_distribution is implemented. Engines that execute at
+  /// the census level (census, batched) require a kernel.
+  [[nodiscard]] virtual bool has_kernel() const { return false; }
+
+  /// The finite distribution over post-interaction (q_i', q_r') pairs for an
+  /// ordered (initiator, responder) state pair. Probabilities must be
+  /// positive and sum to 1. The default implementation throws; override it
+  /// together with has_kernel.
+  [[nodiscard]] virtual std::vector<outcome> outcome_distribution(
+      agent_state initiator, agent_state responder) const;
+
+  /// New (initiator, responder) states after an interaction. The default
+  /// implementation samples outcome_distribution (consuming one uniform draw
+  /// only when the distribution has more than one support point).
   [[nodiscard]] virtual std::pair<agent_state, agent_state> interact(
-      agent_state initiator, agent_state responder, rng& gen) const = 0;
+      agent_state initiator, agent_state responder, rng& gen) const;
 
   /// Human-readable state name (for traces and examples).
   [[nodiscard]] virtual std::string state_name(agent_state state) const;
 };
 
-/// How the scheduler draws the interacting pair.
-enum class pair_sampling : std::uint8_t {
-  distinct,          ///< ordered pair of distinct agents (standard PP model)
-  with_replacement,  ///< independent draws (paper's idealized probabilities)
-};
-
-/// One census snapshot taken during a run.
-struct census_snapshot {
-  std::uint64_t interactions = 0;
-  std::vector<std::uint64_t> counts;
-};
-
-class simulation {
+/// The agent-level engine: a per-agent state array, one protocol::interact
+/// call per scheduled pair. This is the reference implementation every other
+/// engine is law-equivalent to, and the only engine that supports protocols
+/// without a kernel.
+class simulation final : public sim_engine {
  public:
   simulation(const protocol& proto, population agents, rng gen,
              pair_sampling sampling = pair_sampling::distinct);
 
-  /// Executes one interaction.
-  void step();
+  void step() override;
+  void run(std::uint64_t steps) override;
 
-  /// Executes `steps` interactions.
-  void run(std::uint64_t steps);
+  using sim_engine::run_until;
 
-  /// Runs until `converged(population)` is true or `max_steps` is reached;
-  /// returns the number of interactions executed in this call.
-  std::uint64_t run_until(
+  /// Deprecated shim for population-based convergence predicates; new code
+  /// should use run_until with a census_predicate (available on every
+  /// engine). Only the agent engine can evaluate population-based
+  /// predicates, so this shim has no equivalent on the interface.
+  std::uint64_t run_until_agents(
       const std::function<bool(const population&)>& converged,
       std::uint64_t max_steps);
 
-  /// Runs `steps` interactions, recording a census every `snapshot_every`
-  /// interactions (including one at the end).
-  [[nodiscard]] std::vector<census_snapshot> run_with_snapshots(
-      std::uint64_t steps, std::uint64_t snapshot_every);
-
   [[nodiscard]] const population& agents() const { return agents_; }
-  [[nodiscard]] std::uint64_t interactions() const { return interactions_; }
-
-  /// Parallel time: interactions / n (standard PP normalization).
-  [[nodiscard]] double parallel_time() const;
+  [[nodiscard]] census_view census() const override { return {agents_}; }
+  [[nodiscard]] std::uint64_t interactions() const override {
+    return interactions_;
+  }
+  [[nodiscard]] engine_kind kind() const override { return engine_kind::agent; }
 
  private:
   const protocol* proto_;
@@ -84,30 +110,64 @@ class simulation {
   std::uint64_t interactions_ = 0;
 };
 
-/// A seedless recipe for a simulation: protocol, initial population, and
-/// sampling discipline. Replica R of a batch is `instantiate(gen_R)` — every
-/// replica starts from the identical initial condition and differs only in
-/// its RNG stream, which is what the batch engine needs to fan one
-/// configuration out across a worker pool. The protocol must outlive the
-/// spec and every simulation built from it.
+/// A seedless recipe for a simulation: protocol, initial condition, and
+/// sampling discipline. Replica R of a batch is `instantiate(gen_R)` (or
+/// `make_engine(kind, gen_R)`) — every replica starts from the identical
+/// initial condition and differs only in its RNG stream, which is what the
+/// batch engine needs to fan one configuration out across a worker pool.
+/// The protocol must outlive the spec and every engine built from it.
+///
+/// The initial condition may be given per-agent (a population) or as a bare
+/// census (counts per state). The census form never allocates per-agent
+/// state, so census/batched engines scale to populations far beyond what an
+/// agent array can hold; the agent engine materializes agents from the
+/// census (grouped by state) on demand.
 class sim_spec {
  public:
   sim_spec(const protocol& proto, population initial,
            pair_sampling sampling = pair_sampling::distinct);
 
-  /// A fresh simulation at the initial condition. The simulation is seeded
-  /// from gen.split(), so it owns an independent stream: the caller's
-  /// generator never shares draws with the simulation (instantiating twice
-  /// from one generator yields two *different* trajectories).
+  sim_spec(const protocol& proto, std::vector<std::uint64_t> initial_counts,
+           pair_sampling sampling = pair_sampling::distinct);
+
+  /// A fresh agent-level simulation at the initial condition. The simulation
+  /// is seeded from gen.split(), so it owns an independent stream: the
+  /// caller's generator never shares draws with the simulation
+  /// (instantiating twice from one generator yields two *different*
+  /// trajectories).
   [[nodiscard]] simulation instantiate(rng& gen) const;
 
-  [[nodiscard]] const population& initial() const { return initial_; }
+  /// A fresh engine of the requested kind at the initial condition, seeded
+  /// from gen.split() exactly like instantiate — make_engine(agent, gen) and
+  /// instantiate(gen) from equal generator states produce bitwise-identical
+  /// trajectories. The census and batched engines require the protocol to
+  /// expose a kernel; the batched engine additionally requires
+  /// pair_sampling::distinct.
+  [[nodiscard]] std::unique_ptr<sim_engine> make_engine(engine_kind kind,
+                                                        rng& gen) const;
+
+  /// The per-agent initial condition; only available when the spec was
+  /// constructed from a population.
+  [[nodiscard]] const population& initial() const;
+  [[nodiscard]] bool has_agent_initial() const { return initial_.has_value(); }
+
+  /// The initial census (always available).
+  [[nodiscard]] const std::vector<std::uint64_t>& initial_counts() const {
+    return initial_counts_;
+  }
+  [[nodiscard]] std::uint64_t population_size() const { return n_; }
+  [[nodiscard]] std::size_t num_state_kinds() const {
+    return initial_counts_.size();
+  }
+
   [[nodiscard]] const protocol& proto() const { return *proto_; }
   [[nodiscard]] pair_sampling sampling() const { return sampling_; }
 
  private:
   const protocol* proto_;
-  population initial_;
+  std::optional<population> initial_;
+  std::vector<std::uint64_t> initial_counts_;
+  std::uint64_t n_ = 0;
   pair_sampling sampling_;
 };
 

@@ -15,8 +15,9 @@ census_recorder::census_recorder(std::vector<std::string> column_names)
   }
 }
 
-void census_recorder::record(const simulation& sim) {
-  record(sim.interactions(), sim.agents().size(), sim.agents().counts());
+void census_recorder::record(const sim_engine& sim) {
+  const census_view now = sim.census();
+  record(sim.interactions(), now.population_size(), now.counts());
 }
 
 void census_recorder::record(std::uint64_t interactions, std::size_t n,

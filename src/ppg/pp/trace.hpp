@@ -9,7 +9,7 @@
 #include <string>
 #include <vector>
 
-#include "ppg/pp/simulator.hpp"
+#include "ppg/pp/engine.hpp"
 
 namespace ppg {
 
@@ -19,8 +19,8 @@ class census_recorder {
   /// header becomes "interactions,parallel_time,<column_names...>".
   explicit census_recorder(std::vector<std::string> column_names);
 
-  /// Records the current census of a simulation.
-  void record(const simulation& sim);
+  /// Records the current census of any engine (agent, census, or batched).
+  void record(const sim_engine& sim);
 
   /// Records an explicit row (for count-chain simulations without a
   /// simulation object). `n` is the population size used for parallel time.

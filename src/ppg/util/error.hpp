@@ -32,3 +32,16 @@ namespace detail {
       ::ppg::detail::throw_invariant(#expr, __FILE__, __LINE__, (message)); \
     }                                                                       \
   } while (false)
+
+/// Debug-only variant of PPG_CHECK for hot-path preconditions: active when
+/// NDEBUG is not defined (Debug / sanitizer builds), compiled out entirely in
+/// Release. Use only where the check is on a per-interaction fast path and
+/// the invariant is already enforced at a boundary (construction, kernel
+/// validation); everything else should use PPG_CHECK.
+#ifdef NDEBUG
+#define PPG_DCHECK(expr, message) \
+  do {                            \
+  } while (false)
+#else
+#define PPG_DCHECK(expr, message) PPG_CHECK(expr, message)
+#endif

@@ -1,0 +1,431 @@
+// Engine equivalence suite: the agent, census, and batched engines execute
+// the same interaction law for a given (protocol, initial census, sampling)
+// triple. Pinned here via (a) exact kernel-vs-interact agreement, (b)
+// bitwise agent-engine/legacy-simulation agreement under shared seeds, (c)
+// two-sample chi-square cross-checks of replica statistics at a fixed
+// parallel time for IGT, approximate majority, and rumor, and (d) agreement
+// of census-engine stationary statistics with igt_count_chain (equation (5))
+// and the Theorem 2.7 closed form.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "ppg/core/igt_count_chain.hpp"
+#include "ppg/core/igt_protocol.hpp"
+#include "ppg/pp/batched_engine.hpp"
+#include "ppg/pp/census_engine.hpp"
+#include "ppg/pp/kernel.hpp"
+#include "ppg/pp/protocols/approximate_majority.hpp"
+#include "ppg/pp/protocols/rumor.hpp"
+#include "ppg/stats/chi_square.hpp"
+#include "ppg/stats/empirical.hpp"
+#include "ppg/util/error.hpp"
+
+namespace ppg {
+namespace {
+
+// Runs `replicas` independent engines of `kind` for `steps` interactions
+// each and collects a scalar census statistic per replica.
+std::vector<double> replica_statistics(
+    const sim_spec& spec, engine_kind kind, std::size_t replicas,
+    std::uint64_t steps, std::uint64_t master,
+    const std::function<double(const census_view&)>& statistic) {
+  std::vector<double> out;
+  out.reserve(replicas);
+  for (std::size_t r = 0; r < replicas; ++r) {
+    rng gen = make_stream_rng(master, r);
+    const auto engine = spec.make_engine(kind, gen);
+    engine->run(steps);
+    out.push_back(statistic(engine->census()));
+  }
+  return out;
+}
+
+// Two-sample chi-square homogeneity test on scalar samples, binned at the
+// pooled quantiles; returns the upper-tail p-value.
+double two_sample_p(const std::vector<double>& a,
+                    const std::vector<double>& b, std::size_t bins) {
+  std::vector<double> pooled = a;
+  pooled.insert(pooled.end(), b.begin(), b.end());
+  std::sort(pooled.begin(), pooled.end());
+  std::vector<double> edges;
+  for (std::size_t i = 1; i < bins; ++i) {
+    const double e = pooled[i * pooled.size() / bins];
+    if (edges.empty() || e > edges.back()) edges.push_back(e);
+  }
+  const auto bin_of = [&](double x) {
+    return static_cast<std::size_t>(
+        std::upper_bound(edges.begin(), edges.end(), x) - edges.begin());
+  };
+  std::vector<double> oa(edges.size() + 1, 0.0);
+  std::vector<double> ob(edges.size() + 1, 0.0);
+  for (const double x : a) oa[bin_of(x)] += 1.0;
+  for (const double x : b) ob[bin_of(x)] += 1.0;
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+  double statistic = 0.0;
+  double dof = -1.0;
+  for (std::size_t i = 0; i < oa.size(); ++i) {
+    if (oa[i] + ob[i] == 0.0) continue;
+    const double d =
+        std::sqrt(nb / na) * oa[i] - std::sqrt(na / nb) * ob[i];
+    statistic += d * d / (oa[i] + ob[i]);
+    dof += 1.0;
+  }
+  if (dof < 1.0) return 1.0;  // all mass in one bin: distributions agree
+  return chi_square_tail(statistic, dof);
+}
+
+TEST(Kernel, IgtKernelMatchesInteract) {
+  rng gen(1);
+  for (const auto discipline :
+       {igt_discipline::one_way, igt_discipline::two_way}) {
+    const igt_protocol proto(5, discipline);
+    const kernel_table kernel(proto);
+    EXPECT_TRUE(kernel.fully_deterministic());
+    for (agent_state i = 0; i < proto.num_states(); ++i) {
+      for (agent_state r = 0; r < proto.num_states(); ++r) {
+        const auto dist = proto.outcome_distribution(i, r);
+        ASSERT_EQ(dist.size(), 1u);
+        const auto direct = proto.interact(i, r, gen);
+        EXPECT_EQ(dist[0].initiator, direct.first);
+        EXPECT_EQ(dist[0].responder, direct.second);
+        EXPECT_EQ(kernel.sample(i, r, gen), direct);
+        EXPECT_EQ(kernel.identity(i, r),
+                  direct == std::make_pair(i, r));
+      }
+    }
+  }
+}
+
+// A protocol defining only the kernel: the default interact samples it.
+class coin_protocol final : public protocol {
+ public:
+  [[nodiscard]] std::size_t num_states() const override { return 2; }
+  [[nodiscard]] bool has_kernel() const override { return true; }
+  [[nodiscard]] std::vector<outcome> outcome_distribution(
+      agent_state /*initiator*/, agent_state responder) const override {
+    // The initiator rerandomizes its opinion; the responder is unchanged.
+    return {{0, responder, 0.5}, {1, responder, 0.5}};
+  }
+};
+
+TEST(Kernel, DefaultInteractSamplesTheKernel) {
+  const coin_protocol proto;
+  rng gen(2);
+  int heads = 0;
+  constexpr int trials = 40000;
+  for (int t = 0; t < trials; ++t) {
+    const auto [next_initiator, next_responder] = proto.interact(0, 1, gen);
+    EXPECT_EQ(next_responder, 1u);
+    heads += next_initiator == 1 ? 1 : 0;
+  }
+  EXPECT_NEAR(heads, trials / 2, 5.0 * std::sqrt(trials / 4.0));
+}
+
+class bad_sum_protocol final : public protocol {
+ public:
+  [[nodiscard]] std::size_t num_states() const override { return 2; }
+  [[nodiscard]] bool has_kernel() const override { return true; }
+  [[nodiscard]] std::vector<outcome> outcome_distribution(
+      agent_state initiator, agent_state responder) const override {
+    return {{initiator, responder, 0.7}};  // sums to 0.7
+  }
+};
+
+class kernelless_protocol final : public protocol {
+ public:
+  [[nodiscard]] std::size_t num_states() const override { return 2; }
+  [[nodiscard]] std::pair<agent_state, agent_state> interact(
+      agent_state initiator, agent_state responder,
+      rng& /*gen*/) const override {
+    return {initiator, responder};
+  }
+};
+
+TEST(Kernel, ContractViolationsAreRejected) {
+  EXPECT_THROW(kernel_table{bad_sum_protocol{}}, invariant_error);
+  EXPECT_THROW(kernel_table{kernelless_protocol{}}, invariant_error);
+  // Default interact on a kernel-less protocol has nothing to sample.
+  rng gen(3);
+  const kernelless_protocol proto;
+  EXPECT_THROW((void)proto.outcome_distribution(0, 0), invariant_error);
+}
+
+TEST(Engines, KernellessProtocolRestrictedToAgentEngine) {
+  const kernelless_protocol proto;
+  const sim_spec spec(proto, population({0, 1, 1, 0}, 2));
+  rng gen(4);
+  EXPECT_NO_THROW((void)spec.make_engine(engine_kind::agent, gen));
+  EXPECT_THROW((void)spec.make_engine(engine_kind::census, gen),
+               invariant_error);
+  EXPECT_THROW((void)spec.make_engine(engine_kind::batched, gen),
+               invariant_error);
+}
+
+TEST(Engines, BatchedRequiresDistinctSampling) {
+  const rumor_protocol proto;
+  const sim_spec spec(proto, population({1, 0, 0, 0}, 2),
+                      pair_sampling::with_replacement);
+  rng gen(5);
+  EXPECT_THROW((void)spec.make_engine(engine_kind::batched, gen),
+               invariant_error);
+  EXPECT_NO_THROW((void)spec.make_engine(engine_kind::census, gen));
+}
+
+TEST(Engines, AgentEngineIsBitwiseTheLegacySimulation) {
+  const igt_protocol proto(4);
+  const auto pop = abg_population::from_fractions(60, 0.2, 0.3, 0.5);
+  const sim_spec spec(proto,
+                      population(make_igt_population_states(pop, 4, 1), 6));
+  rng gen_a(77);
+  rng gen_b(77);
+  const auto engine = spec.make_engine(engine_kind::agent, gen_a);
+  simulation legacy = spec.instantiate(gen_b);
+  engine->run(5000);
+  legacy.run(5000);
+  EXPECT_EQ(engine->census().counts(), legacy.census().counts());
+  EXPECT_EQ(engine->interactions(), legacy.interactions());
+}
+
+TEST(Engines, AgreeOnIgtAtFixedParallelTime) {
+  const std::size_t k = 4;
+  const auto pop = abg_population::from_fractions(240, 0.1, 0.25, 0.65);
+  const igt_protocol proto(k);
+  const sim_spec spec(proto,
+                      population(make_igt_population_states(pop, k, 0), 2 + k));
+  const std::uint64_t steps = 40 * pop.n();  // parallel time 40
+  const auto statistic = [&](const census_view& census) {
+    const auto z = gtft_level_counts(census, k);
+    double level_mass = 0.0;
+    for (std::size_t j = 0; j < k; ++j) {
+      level_mass += static_cast<double>(j) * static_cast<double>(z[j]);
+    }
+    return level_mass;
+  };
+  constexpr std::size_t replicas = 300;
+  const auto agent =
+      replica_statistics(spec, engine_kind::agent, replicas, steps, 90,
+                         statistic);
+  const auto census =
+      replica_statistics(spec, engine_kind::census, replicas, steps, 91,
+                         statistic);
+  const auto batched =
+      replica_statistics(spec, engine_kind::batched, replicas, steps, 92,
+                         statistic);
+  EXPECT_GT(two_sample_p(agent, census, 8), 1e-4);
+  EXPECT_GT(two_sample_p(agent, batched, 8), 1e-4);
+}
+
+TEST(Engines, AgreeOnApproximateMajorityAtFixedParallelTime) {
+  using amp = approximate_majority_protocol;
+  const amp proto;
+  std::vector<agent_state> states;
+  states.insert(states.end(), 60, amp::state_x);
+  states.insert(states.end(), 40, amp::state_y);
+  states.insert(states.end(), 20, amp::state_blank);
+  const sim_spec spec(proto, population(std::move(states), 3));
+  const std::uint64_t steps = 2 * 120;  // parallel time 2: mid-dynamics
+  const auto statistic = [](const census_view& census) {
+    return static_cast<double>(census.count(amp::state_x)) -
+           static_cast<double>(census.count(amp::state_y));
+  };
+  constexpr std::size_t replicas = 300;
+  const auto agent =
+      replica_statistics(spec, engine_kind::agent, replicas, steps, 93,
+                         statistic);
+  const auto census =
+      replica_statistics(spec, engine_kind::census, replicas, steps, 94,
+                         statistic);
+  const auto batched =
+      replica_statistics(spec, engine_kind::batched, replicas, steps, 95,
+                         statistic);
+  EXPECT_GT(two_sample_p(agent, census, 8), 1e-4);
+  EXPECT_GT(two_sample_p(agent, batched, 8), 1e-4);
+}
+
+TEST(Engines, AgreeOnRumorAtFixedParallelTime) {
+  const rumor_protocol proto;
+  std::vector<agent_state> states(150, rumor_protocol::state_susceptible);
+  states[0] = rumor_protocol::state_informed;
+  const sim_spec spec(proto, population(std::move(states), 2));
+  const std::uint64_t steps = 3 * 150;  // parallel time 3: mid-spread
+  const auto statistic = [](const census_view& census) {
+    return static_cast<double>(census.count(rumor_protocol::state_informed));
+  };
+  constexpr std::size_t replicas = 300;
+  const auto agent =
+      replica_statistics(spec, engine_kind::agent, replicas, steps, 96,
+                         statistic);
+  const auto census =
+      replica_statistics(spec, engine_kind::census, replicas, steps, 97,
+                         statistic);
+  const auto batched =
+      replica_statistics(spec, engine_kind::batched, replicas, steps, 98,
+                         statistic);
+  EXPECT_GT(two_sample_p(agent, census, 8), 1e-4);
+  EXPECT_GT(two_sample_p(agent, batched, 8), 1e-4);
+}
+
+TEST(Engines, ChiSquareCrossCheckDetectsDifferentLaws) {
+  // Negative control for the helper: the same engine at different parallel
+  // times follows different laws, which the test statistic must flag.
+  const rumor_protocol proto;
+  std::vector<agent_state> states(150, rumor_protocol::state_susceptible);
+  states[0] = rumor_protocol::state_informed;
+  const sim_spec spec(proto, population(std::move(states), 2));
+  const auto statistic = [](const census_view& census) {
+    return static_cast<double>(census.count(rumor_protocol::state_informed));
+  };
+  const auto early =
+      replica_statistics(spec, engine_kind::census, 300, 150, 99, statistic);
+  const auto late = replica_statistics(spec, engine_kind::census, 300,
+                                       3 * 150, 100, statistic);
+  EXPECT_LT(two_sample_p(early, late, 8), 1e-6);
+}
+
+TEST(Engines, CensusEngineMatchesCountChainStationary) {
+  // Equation (5): with idealized (with-replacement) sampling, the level
+  // census of the census engine and igt_count_chain follow the same chain,
+  // whose stationary law is the Theorem 2.7 closed form.
+  const std::size_t k = 5;
+  const auto pop = abg_population::from_fractions(200, 0.1, 0.25, 0.65);
+  const igt_protocol proto(k);
+  const sim_spec spec(proto,
+                      population(make_igt_population_states(pop, k, 0), 2 + k),
+                      pair_sampling::with_replacement);
+  const auto burn =
+      static_cast<std::uint64_t>(igt_mixing_upper_bound(pop, k));
+  const std::uint64_t samples = 300'000;
+  const auto m = static_cast<double>(pop.num_gtft);
+
+  rng gen(101);
+  const auto engine = spec.make_engine(engine_kind::census, gen);
+  engine->run(burn);
+  std::vector<double> from_engine(k, 0.0);
+  for (std::uint64_t i = 0; i < samples; ++i) {
+    engine->step();
+    const auto z = gtft_level_counts(engine->census(), k);
+    for (std::size_t j = 0; j < k; ++j) {
+      from_engine[j] += static_cast<double>(z[j]);
+    }
+  }
+  for (auto& x : from_engine) x /= static_cast<double>(samples) * m;
+
+  igt_count_chain chain(pop, k, 0);
+  rng chain_gen(102);
+  chain.run(burn, chain_gen);
+  std::vector<double> from_chain(k, 0.0);
+  for (std::uint64_t i = 0; i < samples; ++i) {
+    chain.step(chain_gen);
+    const auto& z = chain.counts();
+    for (std::size_t j = 0; j < k; ++j) {
+      from_chain[j] += static_cast<double>(z[j]);
+    }
+  }
+  for (auto& x : from_chain) x /= static_cast<double>(samples) * m;
+
+  const auto closed_form = igt_stationary_probs(pop, k);
+  EXPECT_LT(total_variation(from_engine, closed_form), 0.03);
+  EXPECT_LT(total_variation(from_chain, closed_form), 0.03);
+  EXPECT_LT(total_variation(from_engine, from_chain), 0.05);
+}
+
+TEST(Engines, CensusEngineRunsHundredMillionAgents) {
+  // The acceptance-scale configuration: n = 10^8 with no per-agent array.
+  const std::size_t k = 8;
+  const igt_protocol proto(k);
+  std::vector<std::uint64_t> counts(2 + k, 0);
+  counts[igt_encoding::ac] = 10'000'000;
+  counts[igt_encoding::ad] = 20'000'000;
+  counts[igt_encoding::gtft(0)] = 70'000'000;
+  const sim_spec spec(proto, counts);
+  EXPECT_FALSE(spec.has_agent_initial());
+  EXPECT_EQ(spec.population_size(), 100'000'000u);
+  rng gen(103);
+  const auto engine = spec.make_engine(engine_kind::census, gen);
+  engine->run(100'000);
+  EXPECT_EQ(engine->interactions(), 100'000u);
+  std::uint64_t total = 0;
+  for (const auto c : engine->census().counts()) total += c;
+  EXPECT_EQ(total, 100'000'000u);
+}
+
+TEST(Engines, BatchedEngineSkipsIdentityInteractionsAtScale) {
+  // Dilute GTFT population at n = 10^8: ~99% of interactions are identities
+  // the batched engine never samples individually.
+  const std::size_t k = 8;
+  const igt_protocol proto(k);
+  std::vector<std::uint64_t> counts(2 + k, 0);
+  counts[igt_encoding::ac] = 79'000'000;
+  counts[igt_encoding::ad] = 20'000'000;
+  counts[igt_encoding::gtft(0)] = 1'000'000;
+  const sim_spec spec(proto, counts);
+  rng gen(104);
+  const auto engine = spec.make_engine(engine_kind::batched, gen);
+  engine->run(10'000'000);
+  EXPECT_EQ(engine->interactions(), 10'000'000u);
+  std::uint64_t total = 0;
+  for (const auto c : engine->census().counts()) total += c;
+  EXPECT_EQ(total, 100'000'000u);
+}
+
+TEST(Engines, BatchedFrozenCensusBurnsTheBudget) {
+  // All agents informed: every pair is an identity, active weight 0.
+  const rumor_protocol proto;
+  const sim_spec spec(proto,
+                      population(50, rumor_protocol::state_informed, 2));
+  rng gen(105);
+  const auto engine = spec.make_engine(engine_kind::batched, gen);
+  engine->run(5000);
+  EXPECT_EQ(engine->interactions(), 5000u);
+  EXPECT_EQ(engine->census().count(rumor_protocol::state_informed), 50u);
+  const auto executed = engine->run_until(
+      [](const census_view& census) { return census.count(0) > 0; }, 1000);
+  EXPECT_EQ(executed, 1000u);
+  EXPECT_EQ(engine->interactions(), 6000u);
+}
+
+TEST(Engines, RunUntilConvergesOnEveryEngine) {
+  const rumor_protocol proto;
+  std::vector<agent_state> states(100, rumor_protocol::state_susceptible);
+  states[0] = rumor_protocol::state_informed;
+  const sim_spec spec(proto, population(std::move(states), 2));
+  for (const auto kind :
+       {engine_kind::agent, engine_kind::census, engine_kind::batched}) {
+    rng gen(106);
+    const auto engine = spec.make_engine(kind, gen);
+    const auto executed =
+        engine->run_until(rumor_protocol::all_informed, 10'000'000);
+    ASSERT_LT(executed, 10'000'000u) << engine_kind_name(kind);
+    EXPECT_TRUE(rumor_protocol::all_informed(engine->census()));
+    EXPECT_EQ(engine->interactions(), executed);
+  }
+}
+
+TEST(Engines, SnapshotCadenceIsUniformAcrossEngines) {
+  const igt_protocol proto(3);
+  const auto pop = abg_population::from_fractions(40, 0.2, 0.3, 0.5);
+  const sim_spec spec(proto,
+                      population(make_igt_population_states(pop, 3, 0), 5));
+  for (const auto kind :
+       {engine_kind::agent, engine_kind::census, engine_kind::batched}) {
+    rng gen(107);
+    const auto engine = spec.make_engine(kind, gen);
+    const auto snaps = engine->run_with_snapshots(25, 10);
+    ASSERT_EQ(snaps.size(), 3u) << engine_kind_name(kind);
+    EXPECT_EQ(snaps[0].interactions, 10u);
+    EXPECT_EQ(snaps[1].interactions, 20u);
+    EXPECT_EQ(snaps[2].interactions, 25u);
+    for (const auto& snap : snaps) {
+      std::uint64_t total = 0;
+      for (const auto c : snap.counts) total += c;
+      EXPECT_EQ(total, pop.n());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ppg

@@ -126,7 +126,7 @@ TEST(Simulator, MaxProtocolConvergesToMaximum) {
   const max_protocol proto;
   simulation sim(proto, population({0, 1, 2, 3}, 4), rng(407));
   const auto steps = sim.run_until(
-      [](const population& pop) { return pop.count(3) == pop.size(); },
+      [](const census_view& c) { return c.count(3) == c.population_size(); },
       100000);
   EXPECT_LT(steps, 100000u);
   EXPECT_EQ(sim.agents().count(3), 4u);
@@ -136,9 +136,40 @@ TEST(Simulator, RunUntilStopsImmediatelyWhenConverged) {
   const max_protocol proto;
   simulation sim(proto, population({3, 3, 3}, 4), rng(408));
   const auto steps = sim.run_until(
-      [](const population& pop) { return pop.count(3) == pop.size(); },
+      [](const census_view& c) { return c.count(3) == c.population_size(); },
       1000);
   EXPECT_EQ(steps, 0u);
+}
+
+TEST(Simulator, PopulationPredicateShimStillWorks) {
+  // Deprecated path: population-based predicates via run_until_agents.
+  const max_protocol proto;
+  simulation sim(proto, population({0, 1, 2, 3}, 4), rng(412));
+  const auto steps = sim.run_until_agents(
+      [](const population& pop) { return pop.count(3) == pop.size(); },
+      100000);
+  EXPECT_LT(steps, 100000u);
+  EXPECT_EQ(sim.agents().count(3), 4u);
+}
+
+TEST(Population, ApplyInteractionDebugChecksBounds) {
+  population pop({0, 1}, 2);
+#ifndef NDEBUG
+  EXPECT_THROW(pop.apply_interaction(0, 5), invariant_error);
+  EXPECT_THROW(pop.apply_interaction(7, 1), invariant_error);
+#endif
+  pop.apply_interaction(0, 1);
+  EXPECT_EQ(pop.count(1), 2u);
+}
+
+TEST(CensusView, ViewsPopulationCounts) {
+  const population pop({0, 1, 1, 2, 2, 2}, 3);
+  const census_view view(pop);
+  EXPECT_EQ(view.population_size(), 6u);
+  EXPECT_EQ(view.num_state_kinds(), 3u);
+  EXPECT_EQ(view.count(2), 3u);
+  EXPECT_DOUBLE_EQ(view.fraction(1), 1.0 / 3.0);
+  EXPECT_THROW((void)view.count(3), invariant_error);
 }
 
 TEST(Simulator, SnapshotsAtRequestedCadence) {

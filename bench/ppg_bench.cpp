@@ -1,0 +1,6 @@
+// The unified experiment driver. Every experiment in bench/scenarios/ is a
+// registered scenario; this binary lists, filters, runs, prints, and
+// serializes them. See `ppg-bench --help` and README "Running experiments".
+#include "ppg/exp/harness.hpp"
+
+int main(int argc, char** argv) { return ppg::harness_main(argc, argv); }

@@ -1,40 +1,48 @@
 // Ablation A3: the emergence of cooperation as a welfare trajectory. From
 // an all-stingy start (every GTFT agent at g_1 = 0), the k-IGT dynamics
-// climbs the generosity ladder; this bench tracks the population's average
-// generosity and per-interaction welfare over parallel time, across beta
-// regimes — the dynamic picture behind the stationary results of E3/E4.
-// Each curve is the mean over 4 independent replicas run on the batch
-// engine, with a 95% CI band on the welfare column.
-#include <iostream>
+// climbs the generosity ladder; this scenario tracks the population's
+// average generosity and per-interaction welfare over parallel time,
+// across beta regimes — the dynamic picture behind the stationary results
+// of E3/E4. Each curve is the mean over independent replicas run on the
+// batch engine, with a 95% CI band on the welfare column.
+#include <algorithm>
+#include <string>
+#include <vector>
 
 #include "ppg/core/equilibrium.hpp"
-#include "ppg/core/igt_protocol.hpp"
 #include "ppg/core/igt_count_chain.hpp"
+#include "ppg/core/igt_protocol.hpp"
 #include "ppg/exp/replicate.hpp"
-#include "ppg/util/table.hpp"
+#include "ppg/exp/scenario.hpp"
 
-int main() {
-  using namespace ppg;
-  std::cout << "=== A3: welfare trajectories of the k-IGT dynamics ===\n\n";
+namespace {
 
+using namespace ppg;
+
+scenario_result run_a3(const scenario_context& ctx) {
+  scenario_result result;
   const std::size_t n = 400;
   const std::size_t k = 6;
   const double g_max = 0.6;
   const rd_setting setting{4.0, 1.0, 0.8, 0.95};
   const auto grid = generosity_grid(k, g_max);
   const auto payoffs = full_payoff_matrix(setting, k, g_max);
-
-  std::cout << "Game: b = " << setting.b << ", c = " << setting.c
-            << ", delta = " << setting.delta << "; n = " << n
-            << ", k = " << k << ", all GTFT agents start at g = 0;\n"
-            << "4 replicas per beta, welfare shown as mean with a 95% CI "
-               "half-width\n\n";
+  const std::size_t replicas = ctx.pick<std::size_t>(4, 2);
+  result.param("n", n);
+  result.param("k", k);
+  result.param("g_max", g_max);
+  result.param("replicas", replicas);
 
   const std::uint64_t horizon = 60 * n;  // 60 units of parallel time
   const std::uint64_t stride = 6 * n;
   const std::size_t points = static_cast<std::size_t>(horizon / stride) + 1;
 
-  for (const double beta : {0.1, 0.3, 0.6}) {
+  const auto betas =
+      ctx.pick<std::vector<double>>({0.1, 0.3, 0.6}, {0.1, 0.6});
+  double final_avg_g_small_beta = 0.0;
+  double peak_welfare_small_beta = 0.0;
+  std::uint64_t salt = 0;
+  for (const double beta : betas) {
     const double alpha = 0.1;
     const auto pop =
         abg_population::from_fractions(n, alpha, beta, 0.9 - beta);
@@ -46,7 +54,7 @@ int main() {
     // One replica: the generosity trace followed by the welfare trace,
     // sampled on the shared time grid.
     const auto batch = replicate_trajectory(
-        {4, 2025, 0}, [&](const replica_context&, rng& gen) {
+        ctx.batch(replicas, salt++), [&](const replica_context&, rng& gen) {
           const auto sim = spec.make_engine(engine_kind::census, gen);
           std::vector<double> trace;
           trace.reserve(2 * points);
@@ -79,27 +87,41 @@ int main() {
     for (std::size_t i = 0; i < points; ++i) {
       peak_welfare = std::max(peak_welfare, mean[points + i]);
     }
+    if (beta == betas.front()) {
+      final_avg_g_small_beta = mean[points - 1];
+      peak_welfare_small_beta = peak_welfare;
+    }
 
-    std::cout << "beta = " << fmt(pop.beta(), 2)
-              << " (lambda = " << fmt(pop.lambda(), 2) << ")\n";
-    text_table table({"parallel time", "avg generosity", "welfare/round",
-                      "95% CI", "welfare bar"});
+    auto& table = result.table(
+        "beta = " + format_metric(pop.beta(), 3) +
+            " (lambda = " + format_metric(pop.lambda(), 3) + ")",
+        {"parallel time", "avg generosity", "welfare/round", "95% CI",
+         "welfare bar"});
     for (std::size_t i = 0; i < points; ++i) {
       const double w = mean[points + i];
       const auto len = static_cast<std::size_t>(
           std::max(0.0, w / peak_welfare) * 30.0);
       table.add_row(
-          {fmt(static_cast<double>(i * stride) / static_cast<double>(n), 0),
-           fmt(mean[i], 3), fmt(w, 3), fmt(band[points + i], 3),
-           std::string(len, '#')});
+          {format_metric(static_cast<double>(i * stride) /
+                         static_cast<double>(n)),
+           format_metric(mean[i], 4), format_metric(w, 4),
+           format_metric(band[points + i], 3), std::string(len, '#')});
     }
-    table.print(std::cout);
-    std::cout << "\n";
   }
 
-  std::cout << "Expected shape: for small beta, generosity and welfare climb "
-               "together and\nsaturate near the stationary values within "
-               "O(k log n) parallel time; for large\nbeta the climb stalls "
-               "near the bottom and welfare stays depressed by defection.\n";
-  return 0;
+  result.metric("final_avg_g_small_beta", final_avg_g_small_beta,
+                metric_goal::maximize);
+  result.metric("peak_welfare_small_beta", peak_welfare_small_beta);
+  result.note(
+      "Expected shape: for small beta, generosity and welfare climb "
+      "together and\nsaturate near the stationary values within O(k log n) "
+      "parallel time; for large\nbeta the climb stalls near the bottom and "
+      "welfare stays depressed by defection.");
+  return result;
 }
+
+[[maybe_unused]] const bool registered = register_scenario(
+    "a3_welfare_trajectory", "igt,trajectory,welfare,census-engine",
+    "Welfare trajectories of the k-IGT dynamics", run_a3);
+
+}  // namespace

@@ -1,0 +1,106 @@
+// Ablation A4 (the Section 1.1.2 discussion): why generosity? Under
+// execution noise — a cooperative action occasionally replaced by defection
+// — two TFT players fall into retaliation spirals and lose most of the
+// cooperative surplus, while generous TFT recovers. This scenario
+// quantifies the effect with the exact payoff oracle (noise folded exactly
+// into the strategy via the `perturbed` map) and locates the optimal
+// generosity as a function of the noise rate.
+#include "ppg/exp/scenario.hpp"
+#include "ppg/games/exact_payoff.hpp"
+#include "ppg/games/strategy.hpp"
+
+namespace {
+
+using namespace ppg;
+
+scenario_result run_a4(const scenario_context&) {
+  scenario_result result;
+  // Exact computation throughout — no smoke reductions needed.
+  const repeated_donation_game rdg{{3.0, 1.0}, 0.95};
+  const double s1 = 1.0;
+  const double full_cooperation =
+      expected_payoff(rdg, always_cooperate(), always_cooperate());
+  result.param("b", 3.0);
+  result.param("c", 1.0);
+  result.param("delta", 0.95);
+  result.param("full_cooperation_payoff", full_cooperation);
+
+  // Mutual expected payoff of two identical noisy strategies.
+  const auto mutual_payoff = [&](const memory_one_strategy& s, double noise) {
+    const auto noisy = perturbed(s, noise);
+    return expected_payoff(rdg, noisy, noisy);
+  };
+
+  auto& table = result.table(
+      "mutual payoff of two identical strategies, as a fraction of full "
+      "cooperation",
+      {"noise", "TFT (g=0)", "GTFT(0.1)", "GTFT(0.3)", "GTFT(0.5)", "AC"});
+  double tft_frac_at_05 = 0.0;
+  double gtft3_frac_at_05 = 0.0;
+  for (const double noise : {0.0, 0.005, 0.01, 0.02, 0.05, 0.1}) {
+    const auto frac = [&](const memory_one_strategy& s) {
+      return mutual_payoff(s, noise) / full_cooperation;
+    };
+    const double tft_frac = frac(tit_for_tat(s1));
+    const double gtft3_frac = frac(generous_tit_for_tat(0.3, s1));
+    if (noise == 0.05) {
+      tft_frac_at_05 = tft_frac;
+      gtft3_frac_at_05 = gtft3_frac;
+    }
+    table.add_row({format_metric(noise), format_metric(tft_frac, 4),
+                   format_metric(frac(generous_tit_for_tat(0.1, s1)), 4),
+                   format_metric(gtft3_frac, 4),
+                   format_metric(frac(generous_tit_for_tat(0.5, s1)), 4),
+                   format_metric(frac(always_cooperate()), 4)});
+  }
+
+  // Against a pure mirror more generosity always helps; the interesting
+  // trade-off needs defectors in the pool (generosity bleeds against AD).
+  // Opponent pool: 80% GTFT mirror, 20% AD, everyone noisy.
+  const auto pool_payoff = [&](double g, double noise) {
+    const auto self = perturbed(generous_tit_for_tat(g, s1), noise);
+    const auto mirror = self;
+    const auto defector = perturbed(always_defect(), noise);
+    return 0.8 * expected_payoff(rdg, self, mirror) +
+           0.2 * expected_payoff(rdg, self, defector);
+  };
+  auto& opt_table = result.table(
+      "optimal generosity against a noisy pool (80% GTFT mirror + 20% AD)",
+      {"noise", "best g", "pool payoff at best g", "pool payoff at g=0"});
+  double best_g_at_05 = 0.0;
+  for (const double noise : {0.005, 0.02, 0.05, 0.1}) {
+    double best_g = 0.0;
+    double best_value = -1e300;
+    for (int i = 0; i <= 100; ++i) {
+      const double g = i / 100.0;
+      const double value = pool_payoff(g, noise);
+      if (value > best_value) {
+        best_value = value;
+        best_g = g;
+      }
+    }
+    if (noise == 0.05) best_g_at_05 = best_g;
+    opt_table.add_row({format_metric(noise), format_metric(best_g),
+                       format_metric(best_value, 4),
+                       format_metric(pool_payoff(0.0, noise), 4)});
+  }
+
+  result.metric("gtft3_recovery_at_noise_05", gtft3_frac_at_05,
+                metric_goal::maximize);
+  result.metric("tft_fraction_at_noise_05", tft_frac_at_05);
+  result.metric("best_g_at_noise_05", best_g_at_05);
+  result.note(
+      "Expected shape: at zero noise TFT achieves full cooperation; noise "
+      "drags mutual\nTFT toward the alternating-retaliation plateau while "
+      "even small generosity\nrecovers most of the surplus — the paper's "
+      "stated motivation for the GTFT\nfamily. With defectors in the pool "
+      "the optimum is interior: generous enough to\nabsorb noise, not so "
+      "generous as to subsidize AD.");
+  return result;
+}
+
+[[maybe_unused]] const bool registered = register_scenario(
+    "a4_noise_robustness", "games,exact,noise",
+    "Noise robustness: the case for generosity (Section 1.1.2)", run_a4);
+
+}  // namespace

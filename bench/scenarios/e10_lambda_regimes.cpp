@@ -1,0 +1,83 @@
+// Experiment E10 (footnote 4 of the paper): behavior of the equilibrium
+// gap Psi across lambda = (1-beta)/beta regimes. Theorem 2.9 is stated for
+// lambda >= 2; the footnote warns that for lambda close to 1 the stationary
+// mean can sit far from the best-response generosity and the O(1/k)
+// convergence can fail. This scenario sweeps lambda through
+// {4, 3, 2, 1.5, 1, 0.667, 0.5} for a fixed admissible game setting and
+// reports Psi(k) and k*Psi, exposing where the decay degrades.
+#include "ppg/core/equilibrium.hpp"
+#include "ppg/core/theory.hpp"
+#include "ppg/exp/scenario.hpp"
+
+namespace {
+
+using namespace ppg;
+
+scenario_result run_e10(const scenario_context&) {
+  scenario_result result;
+  // One game setting constructed to be admissible at beta = 0.2 (lambda=4);
+  // the population mix is then varied while the game stays fixed. Exact
+  // computation throughout — no smoke reductions needed.
+  const auto instance = make_theorem_2_9_instance(0.2, 0.7, 0.5);
+  result.param("b", instance.setting.b);
+  result.param("c", instance.setting.c);
+  result.param("delta", instance.setting.delta);
+  result.param("g_max", instance.g_max);
+  result.param("alpha", 0.1);
+
+  auto& table = result.table(
+      "Psi across lambda regimes for the fixed admissible game",
+      {"beta", "lambda", "dev-coeff", "Psi(k=8)", "Psi(k=32)", "Psi(k=128)",
+       "128*Psi(128)", "decay?"});
+  int decays_in_theorem_regime = 0;
+  int rows_in_theorem_regime = 0;
+  double k_psi_at_beta_02 = 0.0;
+  for (const double beta : {0.2, 0.25, 1.0 / 3.0, 0.4, 0.5, 0.6, 2.0 / 3.0}) {
+    const double alpha = 0.1;
+    const double gamma = 1.0 - alpha - beta;
+    const double lambda = (1.0 - beta) / beta;
+    const auto cond =
+        check_theorem_2_9(instance.setting, beta, gamma, instance.g_max);
+    double psi8 = 0.0;
+    double psi32 = 0.0;
+    double psi128 = 0.0;
+    for (const std::size_t k : {8u, 32u, 128u}) {
+      const igt_equilibrium_analyzer analyzer(instance.setting, alpha, beta,
+                                              gamma, k, instance.g_max);
+      const double psi = analyzer.stationary_gap().epsilon;
+      (k == 8 ? psi8 : k == 32 ? psi32 : psi128) = psi;
+    }
+    // Heuristic decay classification: Psi shrinks by >= 2x per 4x k.
+    const bool decays = psi32 < psi8 / 2.0 && psi128 < psi32 / 2.0;
+    if (lambda >= 2.0) {
+      ++rows_in_theorem_regime;
+      if (decays) ++decays_in_theorem_regime;
+    }
+    if (beta == 0.2) k_psi_at_beta_02 = psi128 * 128.0;
+    table.add_row({format_metric(beta, 3), format_metric(lambda, 3),
+                   format_metric(cond.deviation_coefficient, 3),
+                   format_metric(psi8, 3), format_metric(psi32, 3),
+                   format_metric(psi128, 3),
+                   format_metric(psi128 * 128.0, 4), decays ? "yes" : "no"});
+  }
+
+  result.metric("k_psi_at_beta_02", k_psi_at_beta_02);
+  result.metric("decay_fraction_lambda_ge_2",
+                static_cast<double>(decays_in_theorem_regime) /
+                    static_cast<double>(rows_in_theorem_regime),
+                metric_goal::maximize);
+  result.note(
+      "Expected shape: clean O(1/k) decay for lambda >= 2 (the theorem's "
+      "regime);\ndegradation as lambda approaches 1 from above, where the "
+      "stationary mean spreads\nacross levels (beta = 1/2 makes mu uniform) "
+      "— exactly the failure mode footnote 4\ndescribes. For lambda < 1 the "
+      "mean collapses toward g = 0; with this cooperative\ngame setting the "
+      "best response remains high generosity, so Psi stays Theta(1).");
+  return result;
+}
+
+[[maybe_unused]] const bool registered = register_scenario(
+    "e10_lambda_regimes", "igt,equilibrium,exact",
+    "Psi across lambda regimes (footnote 4)", run_e10);
+
+}  // namespace

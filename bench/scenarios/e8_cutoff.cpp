@@ -1,0 +1,154 @@
+// Experiment E8 (Remark 2.6): the cutoff phenomenon. For the classic k = 2
+// urn process, the TV distance from the worst start stays near 1 and then
+// collapses sharply around (1/2) m log m moves; the window narrows (in
+// relative terms) as m grows. We measure the exact TV profile and the
+// relative width of the [0.75, 0.25] TV window, then probe the same
+// quantities for a high-dimensional (k = 4) process, where obtaining exact
+// cutoff constants is the paper's stated open question.
+#include <cmath>
+#include <vector>
+
+#include "ppg/ehrenfest/birth_death.hpp"
+#include "ppg/ehrenfest/exact_chain.hpp"
+#include "ppg/exp/scenario.hpp"
+#include "ppg/markov/mixing.hpp"
+#include "ppg/util/table.hpp"
+
+namespace {
+
+using namespace ppg;
+
+struct cutoff_profile {
+  double t25 = 0.0;             ///< first t with TV <= 0.25
+  double t75 = 0.0;             ///< first t with TV <= 0.75
+  double relative_width = 0.0;  ///< (t25 - t75)/t25
+};
+
+cutoff_profile measure_cutoff(const ehrenfest_params& params) {
+  const simplex_index index(params.k, params.m);
+  const auto chain = build_ehrenfest_chain(params, index);
+  const auto pi = exact_stationary_vector(params, index);
+  const auto corners = find_corner_states(index);
+  // Use the worse of the two corners (relevant for biased chains).
+  const auto t25 = mixing_time_from_starts(
+      chain, {corners.bottom, corners.top}, pi, 0.25, 100'000'000);
+  const auto t75 = mixing_time_from_starts(
+      chain, {corners.bottom, corners.top}, pi, 0.75, 100'000'000);
+  cutoff_profile profile;
+  profile.t25 = static_cast<double>(t25);
+  profile.t75 = static_cast<double>(t75);
+  profile.relative_width = (profile.t25 - profile.t75) / profile.t25;
+  return profile;
+}
+
+scenario_result run_e8(const scenario_context& ctx) {
+  scenario_result result;
+
+  const auto two_ms = ctx.pick<std::vector<std::uint64_t>>(
+      {8, 16, 32, 64, 128}, {8, 16, 32});
+  result.param("two_urn_max_m", two_ms.back());
+  auto& two_table = result.table(
+      "(a) classic k = 2 urn (a = b = 1/4): t_mix vs the (1/2) m log m / "
+      "(a+b)\n    prediction, and the relative width of the TV drop "
+      "(cutoff => width -> 0)",
+      {"m", "t(TV=0.75)", "t(TV=0.25)", "t25 / ((m log m)/2/(a+b))",
+       "relative width"});
+  double two_urn_last_ratio = 0.0;
+  double two_urn_last_width = 0.0;
+  for (const std::uint64_t m : two_ms) {
+    const ehrenfest_params params{2, 0.25, 0.25, m};
+    const auto profile = measure_cutoff(params);
+    const double md = static_cast<double>(m);
+    const double predicted = 0.5 * md * std::log(md) / (params.a + params.b);
+    two_urn_last_ratio = profile.t25 / predicted;
+    two_urn_last_width = profile.relative_width;
+    two_table.add_row({format_metric(md), format_metric(profile.t75),
+                       format_metric(profile.t25),
+                       format_metric(two_urn_last_ratio, 4),
+                       format_metric(two_urn_last_width, 4)});
+  }
+
+  const auto four_ms =
+      ctx.pick<std::vector<std::uint64_t>>({6, 12, 24, 48}, {6, 12});
+  auto& four_table = result.table(
+      "(b) high-dimensional probe, k = 4 (a = b = 1/4): does the relative "
+      "width\n    still shrink?",
+      {"m", "t(TV=0.75)", "t(TV=0.25)", "t25 / (m log m)",
+       "relative width"});
+  double four_urn_last_width = 0.0;
+  for (const std::uint64_t m : four_ms) {
+    const ehrenfest_params params{4, 0.25, 0.25, m};
+    const auto profile = measure_cutoff(params);
+    const double md = static_cast<double>(m);
+    four_urn_last_width = profile.relative_width;
+    four_table.add_row(
+        {format_metric(md), format_metric(profile.t75),
+         format_metric(profile.t25),
+         format_metric(profile.t25 / (md * std::log(md)), 4),
+         format_metric(four_urn_last_width, 4)});
+  }
+
+  const auto biased_ms =
+      ctx.pick<std::vector<std::uint64_t>>({16, 32, 64}, {16, 32});
+  auto& biased_table = result.table(
+      "(c) biased k = 2 (a = 0.3, b = 0.15): the cutoff location shifts "
+      "with the bias",
+      {"m", "t(TV=0.25)", "t25 / (m log m)"});
+  for (const std::uint64_t m : biased_ms) {
+    const ehrenfest_params params{2, 0.3, 0.15, m};
+    const auto profile = measure_cutoff(params);
+    const double md = static_cast<double>(m);
+    biased_table.add_row(
+        {format_metric(md), format_metric(profile.t25),
+         format_metric(profile.t25 / (md * std::log(md)), 4)});
+  }
+
+  const auto large_ms = ctx.pick<std::vector<std::uint64_t>>(
+      {256, 512, 1024, 2048}, {256, 512});
+  auto& large_table = result.table(
+      "(d) large-m confirmation via the k = 2 birth-death projection "
+      "(expression\n    (11)): the O(m)-state tridiagonal chain reaches "
+      "large m where the cutoff is\n    sharp",
+      {"m", "t(TV=0.75)", "t(TV=0.25)", "t25 / ((m log m)/2/(a+b))",
+       "relative width"});
+  double large_last_ratio = 0.0;
+  for (const std::uint64_t m : large_ms) {
+    const ehrenfest_params params{2, 0.25, 0.25, m};
+    const auto chain = two_urn_projected_chain(params);
+    const auto pi = two_urn_projected_stationary(params);
+    // Worst start: all balls in urn 1 (projected state m).
+    const auto t25 = hitting_time_of_tv(chain, static_cast<std::size_t>(m),
+                                        pi, 0.25, 500'000'000);
+    const auto t75 = hitting_time_of_tv(chain, static_cast<std::size_t>(m),
+                                        pi, 0.75, 500'000'000);
+    const double md = static_cast<double>(m);
+    const double predicted = 0.5 * md * std::log(md) / (params.a + params.b);
+    large_last_ratio = static_cast<double>(t25) / predicted;
+    large_table.add_row(
+        {format_metric(md), fmt_count(t75), fmt_count(t25),
+         format_metric(large_last_ratio, 4),
+         format_metric((static_cast<double>(t25) - static_cast<double>(t75)) /
+                           static_cast<double>(t25),
+                       4)});
+  }
+
+  result.metric("two_urn_last_ratio", two_urn_last_ratio);
+  result.metric("two_urn_last_width", two_urn_last_width,
+                metric_goal::minimize);
+  result.metric("four_urn_last_width", four_urn_last_width,
+                metric_goal::minimize);
+  result.metric("large_m_last_ratio", large_last_ratio);
+  result.note(
+      "Expected shape: in (a), the t25/(prediction) ratio tends to ~1 and "
+      "the relative\nwidth shrinks with m — the textbook cutoff. In (b) the "
+      "width also shrinks,\nevidence that the high-dimensional process "
+      "exhibits cutoff too (open question in\nthe paper). In (d) the ratio "
+      "is within a few percent of 1 at the largest m.");
+  return result;
+}
+
+[[maybe_unused]] const bool registered = register_scenario(
+    "e8_cutoff", "ehrenfest,mixing,cutoff,exact",
+    "Cutoff phenomenon of the urn process (Remark 2.6)", run_e8);
+
+}  // namespace

@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Compare a ppg-bench JSON artifact against the committed baseline.
+
+Usage: check_bench.py NEW_JSON BASELINE_JSON [--threshold 0.30] [--atol 1e-9]
+
+Fails (exit 1) when:
+  - the schema versions differ,
+  - a baseline scenario is missing from the new artifact, or
+  - a goal-tagged metric regresses by more than --threshold:
+      goal "min": new > old * (1 + threshold)   (e.g. a TV distance grew)
+      goal "max": new < old * (1 - threshold)   (e.g. an engine speedup fell)
+    Values within --atol of each other (or both below it) never fail —
+    machine-precision metrics (detailed-balance residuals ~1e-17) jitter in
+    the last bit across compilers, which is not a regression.
+
+Goal tags come from each scenario's "metric_goals" map in the baseline (the
+contract the baseline froze); goal-tagged metrics that are new since the
+baseline are reported as a reminder to regenerate it. Untagged metrics are
+listed for the trajectory but never fail the check. The scenarios tag only
+machine-robust quantities (accuracy of seeded deterministic runs, in-process
+speedup ratios) — raw wall-clock rates stay untagged because CI hardware
+varies run to run.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as handle:
+            return json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        sys.exit(f"check_bench: cannot load {path}: {error}")
+
+
+def scenario_map(artifact):
+    return {s["name"]: s for s in artifact.get("scenarios", [])}
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="ppg-bench regression check against a baseline artifact")
+    parser.add_argument("new_json")
+    parser.add_argument("baseline_json")
+    parser.add_argument("--threshold", type=float, default=0.30,
+                        help="fractional regression allowed (default 0.30)")
+    parser.add_argument("--atol", type=float, default=1e-9,
+                        help="absolute noise floor (default 1e-9)")
+    args = parser.parse_args()
+
+    new = load(args.new_json)
+    baseline = load(args.baseline_json)
+
+    failures = []
+    warnings = []
+
+    if new.get("schema_version") != baseline.get("schema_version"):
+        failures.append(
+            f"schema_version mismatch: new={new.get('schema_version')} "
+            f"baseline={baseline.get('schema_version')}")
+
+    new_scenarios = scenario_map(new)
+    base_scenarios = scenario_map(baseline)
+
+    for name in sorted(base_scenarios):
+        if name not in new_scenarios:
+            failures.append(f"scenario '{name}' missing from new artifact")
+    for name in sorted(new_scenarios):
+        if name not in base_scenarios:
+            warnings.append(f"scenario '{name}' not in baseline — "
+                            "regenerate BENCH_baseline.json to track it")
+
+    rows = []
+    for name in sorted(set(base_scenarios) & set(new_scenarios)):
+        base_metrics = base_scenarios[name].get("metrics", {})
+        base_goals = base_scenarios[name].get("metric_goals", {})
+        new_metrics = new_scenarios[name].get("metrics", {})
+        new_goals = new_scenarios[name].get("metric_goals", {})
+
+        for metric in sorted(new_goals):
+            if metric not in base_goals:
+                warnings.append(
+                    f"{name}.{metric} is goal-tagged but absent from the "
+                    "baseline — regenerate BENCH_baseline.json to track it")
+
+        for metric in sorted(base_goals):
+            goal = base_goals[metric]
+            if metric not in new_metrics:
+                failures.append(f"{name}.{metric} missing from new artifact")
+                continue
+            old_value = base_metrics[metric]
+            new_value = new_metrics[metric]
+            verdict = "ok"
+            if abs(new_value - old_value) > args.atol:
+                if goal == "min" and new_value > old_value * (
+                        1 + args.threshold) and new_value > args.atol:
+                    verdict = "REGRESSED"
+                elif goal == "max" and new_value < old_value * (
+                        1 - args.threshold):
+                    verdict = "REGRESSED"
+            change = ("n/a" if abs(old_value) <= args.atol else
+                      f"{(new_value - old_value) / abs(old_value):+.1%}")
+            rows.append((name, metric, goal, old_value, new_value, change,
+                         verdict))
+            if verdict == "REGRESSED":
+                failures.append(
+                    f"{name}.{metric} ({goal}): baseline {old_value:.6g} -> "
+                    f"{new_value:.6g} ({change})")
+
+    if rows:
+        name_w = max(len(r[0]) for r in rows)
+        metric_w = max(len(r[1]) for r in rows)
+        print(f"{'scenario':<{name_w}}  {'metric':<{metric_w}}  goal  "
+              f"{'baseline':>12}  {'new':>12}  {'change':>8}  verdict")
+        for name, metric, goal, old, cur, change, verdict in rows:
+            print(f"{name:<{name_w}}  {metric:<{metric_w}}  {goal:<4}  "
+                  f"{old:>12.6g}  {cur:>12.6g}  {change:>8}  {verdict}")
+
+    for warning in warnings:
+        print(f"warning: {warning}")
+    if failures:
+        print(f"\ncheck_bench: {len(failures)} failure(s):")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"\ncheck_bench: OK — {len(rows)} goal-tagged metric(s) within "
+          f"{args.threshold:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

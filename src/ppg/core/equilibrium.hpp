@@ -21,7 +21,8 @@ namespace ppg {
 
 /// Result of a Definition 1.2 gap computation.
 struct de_result {
-  double epsilon = 0.0;      ///< the gap Psi (>= 0); mu is an eps-DE for any eps >= Psi
+  /// The gap Psi (>= 0); mu is an eps-DE for any eps >= Psi.
+  double epsilon = 0.0;
   std::size_t best_level = 0;  ///< argmax_i of the deviation payoff
   double mean_payoff = 0.0;  ///< E_{g~mu, S~mu_hat}[f(g, S)]
   double best_payoff = 0.0;  ///< max_i E_{S~mu_hat}[f(g_i, S)]

@@ -14,7 +14,8 @@ namespace ppg {
 struct abg_population {
   std::uint64_t num_ac = 0;    ///< always-cooperate agents (alpha fraction)
   std::uint64_t num_ad = 0;    ///< always-defect agents (beta fraction)
-  std::uint64_t num_gtft = 0;  ///< GTFT agents (gamma fraction, the m of the paper)
+  /// GTFT agents (gamma fraction, the m of the paper).
+  std::uint64_t num_gtft = 0;
 
   [[nodiscard]] std::uint64_t n() const {
     return num_ac + num_ad + num_gtft;

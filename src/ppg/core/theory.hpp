@@ -57,7 +57,8 @@ struct theorem_2_9_conditions {
   bool lambda_ok = false;      ///< lambda = (1-beta)/beta >= 2
   bool reward_ratio_ok = false;  ///< b/c > 1 + beta c / (gamma (1 - s1))
   bool delta_ok = false;       ///< delta < sqrt(1 - beta c/(gamma (b-c)(1-s1)))
-  bool g_max_ok = false;       ///< g_max < 1 - (1/delta)(beta c/(gamma (b-c)(1-delta)(1-s1)) - 1)
+  /// g_max < 1 - (1/delta)(beta c/(gamma (b-c)(1-delta)(1-s1)) - 1)
+  bool g_max_ok = false;
   bool deviation_gain_ok = false;  ///< corrected condition (see above)
 
   double delta_limit = 0.0;  ///< the RHS of the delta condition

@@ -6,10 +6,10 @@ namespace ppg {
 
 coordinate_walk::coordinate_walk(ehrenfest_params params,
                                  std::size_t initial_value)
-    : coordinate_walk(params,
-                      std::vector<std::uint32_t>(
-                          params.m, static_cast<std::uint32_t>(initial_value))) {
-}
+    : coordinate_walk(
+          params,
+          std::vector<std::uint32_t>(
+              params.m, static_cast<std::uint32_t>(initial_value))) {}
 
 coordinate_walk::coordinate_walk(ehrenfest_params params,
                                  std::vector<std::uint32_t> initial_values)

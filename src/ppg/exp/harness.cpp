@@ -1,0 +1,206 @@
+#include "ppg/exp/harness.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <ctime>
+#include <fstream>
+#include <iostream>
+#include <ostream>
+
+#include "ppg/util/error.hpp"
+#include "ppg/util/timer.hpp"
+
+// Stamped by CMake on this translation unit; harmless defaults keep the
+// file buildable standalone (tests, tooling).
+#ifndef PPG_GIT_SHA
+#define PPG_GIT_SHA "unknown"
+#endif
+#ifndef PPG_BUILD_TYPE
+#define PPG_BUILD_TYPE "unknown"
+#endif
+
+namespace ppg {
+
+namespace {
+
+constexpr const char* usage_text =
+    "ppg-bench — unified experiment driver for the ppg reproduction\n"
+    "\n"
+    "usage: ppg-bench [flags]\n"
+    "  --list             list registered scenarios (name, tags, "
+    "description)\n"
+    "  --filter <regex>   run only scenarios whose name or tag matches\n"
+    "  --smoke            reduced sweeps/replicas (the CI regression mode)\n"
+    "  --seed <n>         master seed (default 42)\n"
+    "  --threads <n>      worker threads for replication (default: "
+    "hardware)\n"
+    "  --json <path>      write the JSON artifact to <path>\n"
+    "  --help             this text\n";
+
+std::uint64_t parse_uint(const std::string& flag, const std::string& text) {
+  PPG_CHECK(!text.empty(), flag + " needs a numeric value");
+  // Digits only: strtoull would silently wrap a negative value ("-1" ->
+  // 2^64 - 1) instead of rejecting it.
+  for (const char c : text) {
+    PPG_CHECK(c >= '0' && c <= '9',
+              flag + " value is not an unsigned number: " + text);
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  PPG_CHECK(errno == 0 && end == text.c_str() + text.size(),
+            flag + " value is out of range: " + text);
+  return static_cast<std::uint64_t>(value);
+}
+
+std::string utc_timestamp() {
+  const std::time_t now = std::time(nullptr);
+  std::tm utc{};
+  gmtime_r(&now, &utc);
+  char buffer[32];
+  std::strftime(buffer, sizeof(buffer), "%Y-%m-%dT%H:%M:%SZ", &utc);
+  return buffer;
+}
+
+}  // namespace
+
+harness_options parse_harness_args(const std::vector<std::string>& args) {
+  harness_options options;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    const auto value = [&]() -> const std::string& {
+      PPG_CHECK(i + 1 < args.size(), arg + " needs a value");
+      return args[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      options.help = true;
+    } else if (arg == "--list") {
+      options.list = true;
+    } else if (arg == "--smoke") {
+      options.smoke = true;
+    } else if (arg == "--filter") {
+      options.filter = value();
+    } else if (arg == "--seed") {
+      options.seed = parse_uint(arg, value());
+    } else if (arg == "--threads") {
+      options.threads = static_cast<std::size_t>(parse_uint(arg, value()));
+    } else if (arg == "--json") {
+      options.json_path = value();
+    } else {
+      PPG_CHECK(false, "unknown flag: " + arg + " (try --help)");
+    }
+  }
+  return options;
+}
+
+json harness_artifact(const std::vector<harness_run>& runs,
+                      const harness_options& options) {
+  json artifact = json::object();
+  artifact["schema_version"] = bench_schema_version;
+  artifact["git_sha"] = PPG_GIT_SHA;
+  artifact["build_type"] = PPG_BUILD_TYPE;
+  artifact["timestamp"] = utc_timestamp();
+  artifact["smoke"] = options.smoke;
+  artifact["seed"] = options.seed;
+  json scenarios = json::array();
+  for (const auto& run : runs) {
+    json entry = run.result.to_json();
+    // Rebuild with name first and wall_s after metrics: stable key order
+    // keeps artifact diffs reviewable.
+    json ordered = json::object();
+    ordered["name"] = run.name;
+    ordered["params"] = *entry.find("params");
+    ordered["metrics"] = *entry.find("metrics");
+    ordered["metric_goals"] = *entry.find("metric_goals");
+    ordered["wall_s"] = run.wall_s;
+    ordered["tables"] = *entry.find("tables");
+    ordered["notes"] = *entry.find("notes");
+    scenarios.push_back(std::move(ordered));
+  }
+  artifact["scenarios"] = std::move(scenarios);
+  return artifact;
+}
+
+int run_harness(const harness_options& options, scenario_registry& registry,
+                std::ostream& out, std::ostream& err) {
+  if (options.help) {
+    out << usage_text;
+    return 0;
+  }
+  std::vector<const scenario_info*> selected;
+  try {
+    selected = registry.match(options.filter);
+  } catch (const invariant_error& error) {
+    err << "ppg-bench: " << error.what() << "\n";
+    return 2;
+  }
+  if (options.list) {
+    for (const auto* scenario : selected) {
+      out << scenario->name << "  [" << scenario->tags << "]\n    "
+          << scenario->description << "\n";
+    }
+    out << selected.size() << " scenario(s)\n";
+    return 0;
+  }
+  if (selected.empty()) {
+    err << "ppg-bench: no scenario matches filter '" << options.filter
+        << "'\n";
+    return 2;
+  }
+
+  const scenario_context ctx{options.smoke, options.seed, options.threads};
+  std::vector<harness_run> runs;
+  runs.reserve(selected.size());
+  bool failed = false;
+  const timer total_clock;
+  for (const auto* scenario : selected) {
+    out << "=== " << scenario->name << ": " << scenario->description
+        << " ===\n\n";
+    const timer clock;
+    try {
+      harness_run run;
+      run.name = scenario->name;
+      run.result = scenario->run(ctx);
+      run.wall_s = clock.seconds();
+      run.result.print(out);
+      out << "[" << scenario->name << " finished in "
+          << format_metric(run.wall_s, 3) << "s]\n\n";
+      runs.push_back(std::move(run));
+    } catch (const std::exception& error) {
+      failed = true;
+      err << "ppg-bench: scenario " << scenario->name
+          << " failed: " << error.what() << "\n";
+    }
+  }
+  out << "ran " << runs.size() << "/" << selected.size() << " scenario(s) in "
+      << format_metric(total_clock.seconds(), 3) << "s\n";
+
+  if (!options.json_path.empty()) {
+    const json artifact = harness_artifact(runs, options);
+    std::ofstream file(options.json_path);
+    if (!file) {
+      err << "ppg-bench: cannot open " << options.json_path
+          << " for writing\n";
+      return 2;
+    }
+    artifact.dump(file);
+    file << "\n";
+    out << "wrote " << options.json_path << "\n";
+  }
+  return failed ? 1 : 0;
+}
+
+int harness_main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  harness_options options;
+  try {
+    options = parse_harness_args(args);
+  } catch (const invariant_error& error) {
+    std::cerr << "ppg-bench: " << error.what() << "\n" << usage_text;
+    return 2;
+  }
+  return run_harness(options, scenario_registry::global(), std::cout,
+                     std::cerr);
+}
+
+}  // namespace ppg

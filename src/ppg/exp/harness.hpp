@@ -1,0 +1,59 @@
+// The `ppg-bench` driver logic, kept in the library so tests can exercise
+// flag parsing, scenario selection, and artifact assembly without spawning
+// a process. The binary in bench/ppg_bench.cpp is a thin main() over
+// run_harness() on the global registry.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "ppg/exp/scenario.hpp"
+
+namespace ppg {
+
+/// Parsed ppg-bench command line.
+struct harness_options {
+  bool help = false;
+  bool list = false;           ///< --list: print scenarios, run nothing
+  bool smoke = false;          ///< --smoke: reduced n / replicas / sweeps
+  std::string filter;          ///< --filter <regex> over names and tags
+  std::uint64_t seed = 42;     ///< --seed <n>: master seed
+  std::size_t threads = 0;     ///< --threads <n>: 0 = hardware concurrency
+  std::string json_path;       ///< --json <path>: write the artifact
+};
+
+/// Parses flags (excluding argv[0]); throws invariant_error on an unknown
+/// flag, a missing value, or a malformed number.
+[[nodiscard]] harness_options parse_harness_args(
+    const std::vector<std::string>& args);
+
+/// One scenario's outcome inside a harness run.
+struct harness_run {
+  std::string name;
+  scenario_result result;
+  double wall_s = 0.0;
+};
+
+/// The artifact: {schema_version, git_sha, build_type, timestamp, smoke,
+/// seed, scenarios: [{name, params, metrics, metric_goals, wall_s, tables,
+/// notes}]}. schema_version changes only on breaking layout changes (see
+/// DESIGN.md §6); additive fields keep the version.
+[[nodiscard]] json harness_artifact(const std::vector<harness_run>& runs,
+                                    const harness_options& options);
+
+/// The current artifact schema version.
+inline constexpr int bench_schema_version = 1;
+
+/// Runs the selected scenarios of `registry` per `options`, printing the
+/// human view to `out` and diagnostics to `err`; writes the JSON artifact
+/// when requested. Returns a process exit code (0 on success, 1 on a failed
+/// scenario, 2 on usage errors).
+int run_harness(const harness_options& options, scenario_registry& registry,
+                std::ostream& out, std::ostream& err);
+
+/// Convenience main() body: parse args, run on the global registry.
+int harness_main(int argc, char** argv);
+
+}  // namespace ppg

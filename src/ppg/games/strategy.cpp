@@ -85,7 +85,9 @@ std::string paper_strategy::name() const {
 memory_one_strategy perturbed(const memory_one_strategy& s, double noise) {
   PPG_CHECK(s.valid(), "invalid strategy");
   PPG_CHECK(noise >= 0.0 && noise <= 1.0, "noise must be a probability");
-  auto flip = [noise](double p) { return p * (1.0 - noise) + (1.0 - p) * noise; };
+  auto flip = [noise](double p) {
+    return p * (1.0 - noise) + (1.0 - p) * noise;
+  };
   memory_one_strategy out;
   out.initial_cooperation = flip(s.initial_cooperation);
   for (std::size_t i = 0; i < num_game_states; ++i) {

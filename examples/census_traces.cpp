@@ -8,6 +8,7 @@
 
 #include "ppg/core/igt_count_chain.hpp"
 #include "ppg/core/igt_protocol.hpp"
+#include "ppg/pp/engine.hpp"
 #include "ppg/pp/trace.hpp"
 
 int main() {

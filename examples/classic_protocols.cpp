@@ -8,6 +8,7 @@
 #include <cstddef>
 #include <iostream>
 
+#include "ppg/pp/engine.hpp"
 #include "ppg/pp/protocols/approximate_majority.hpp"
 #include "ppg/pp/protocols/leader_election.hpp"
 #include "ppg/pp/protocols/rumor.hpp"

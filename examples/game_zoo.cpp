@@ -1,0 +1,117 @@
+// game_zoo: the generic game-dynamics API end to end. Build matrix games
+// (classics plus the paper's own repeated-game strategy set), compose them
+// with update rules into population protocols, run them on the census
+// engine, and cross-check each run against its mean-field ODE — all without
+// writing a single protocol class.
+#include <cmath>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "ppg/games/game_matrix.hpp"
+#include "ppg/games/game_protocol.hpp"
+#include "ppg/games/mean_field.hpp"
+#include "ppg/pp/engine.hpp"
+#include "ppg/util/table.hpp"
+
+namespace {
+
+using namespace ppg;
+
+void print_matrix(const game_matrix& game) {
+  std::vector<std::string> headers = {""};
+  for (const auto& name : game.strategy_names()) headers.push_back(name);
+  text_table out(headers);
+  for (std::size_t i = 0; i < game.num_strategies(); ++i) {
+    std::vector<std::string> row = {game.strategy_name(i)};
+    for (std::size_t j = 0; j < game.num_strategies(); ++j) {
+      row.push_back(fmt(game.payoff(i, j), 3));
+    }
+    out.add_row(row);
+  }
+  out.print(std::cout);
+}
+
+// Runs (game, rule) on the census engine and compares the long-run census
+// with the mean-field fixed point reached from the same initial fractions.
+void run_and_compare(const std::string& label, const game_matrix& game,
+                     const std::shared_ptr<const update_rule>& rule,
+                     const std::vector<double>& initial_fractions,
+                     std::uint64_t seed) {
+  const std::uint64_t n = 100'000;
+  const game_protocol proto(game, rule);
+  const mean_field_ode ode(proto);
+  const auto fixed =
+      relax_to_fixed_point(ode, initial_fractions, 0.02, 1e-10, 2000.0);
+
+  std::vector<std::uint64_t> counts(game.num_strategies());
+  std::uint64_t assigned = 0;
+  for (std::size_t s = 0; s + 1 < counts.size(); ++s) {
+    counts[s] = static_cast<std::uint64_t>(initial_fractions[s] *
+                                           static_cast<double>(n));
+    assigned += counts[s];
+  }
+  counts.back() = n - assigned;
+  const sim_spec spec(proto, counts);
+  rng gen(seed);
+  const auto engine = spec.make_engine(engine_kind::census, gen);
+  engine->run(50 * n);  // parallel time 50
+  double mean_abs_gap = 0.0;
+  std::cout << label << " (rule: " << rule->name() << ")\n";
+  text_table out({"strategy", "initial", "census @ t=50", "mean-field limit"});
+  for (std::size_t s = 0; s < game.num_strategies(); ++s) {
+    const double simulated =
+        engine->census().fraction(static_cast<agent_state>(s));
+    mean_abs_gap += std::abs(simulated - fixed.state[s]);
+    out.add_row({game.strategy_name(s), fmt(initial_fractions[s], 3),
+                 fmt(simulated, 4), fmt(fixed.state[s], 4)});
+  }
+  out.print(std::cout);
+  std::cout << "  mean |census - ODE| = "
+            << fmt(mean_abs_gap / static_cast<double>(game.num_strategies()),
+                   5)
+            << (fixed.converged ? "" : "  (ODE not yet at a fixed point)")
+            << "\n\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "== The game zoo ==\n\n";
+
+  std::cout << "Donation game (b=2, c=1):\n";
+  const auto donation = donation_matrix();
+  print_matrix(donation);
+  run_and_compare("Defection sweeps under imitation", donation,
+                  std::make_shared<imitate_if_better_rule>(), {0.9, 0.1},
+                  11);
+
+  std::cout << "Hawk-dove (v=1, c=2):\n";
+  const auto hd = hawk_dove_matrix(1.0, 2.0);
+  print_matrix(hd);
+  run_and_compare("Interior equilibrium under logit response", hd,
+                  std::make_shared<logit_response_rule>(0.25), {0.9, 0.1},
+                  12);
+
+  std::cout << "Rock-paper-scissors (zero-sum):\n";
+  const auto rps = rock_paper_scissors_matrix();
+  print_matrix(rps);
+  run_and_compare("No fixed point: both orbit forever (snapshots at t=50 "
+                  "disagree; see bench g1 for the matched periods)",
+                  rps,
+                  std::make_shared<proportional_imitation_rule>(1.0),
+                  {0.5, 0.25, 0.25}, 13);
+
+  std::cout << "The paper's strategy set {AC, AD, g_1..g_4} "
+               "(exact repeated-game payoffs):\n";
+  const auto igt = igt_game_matrix(4);
+  print_matrix(igt);
+  run_and_compare("k-IGT ladder over the generosity grid", igt,
+                  std::make_shared<igt_ladder_rule>(4),
+                  {0.1, 0.25, 0.65, 0.0, 0.0, 0.0}, 14);
+
+  std::cout << "Every composition above compiled to the same kernel\n"
+               "contract and ran unchanged on the census engine; swap\n"
+               "engine_kind::census for agent or batched to taste.\n";
+  return 0;
+}

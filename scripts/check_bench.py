@@ -1,7 +1,9 @@
 #!/usr/bin/env python3
-"""Compare a ppg-bench JSON artifact against the committed baseline.
+"""Compare a ppg-bench JSON artifact against the committed baseline, or
+regenerate the baseline from a fresh full run.
 
-Usage: check_bench.py NEW_JSON BASELINE_JSON [--threshold 0.30] [--atol 1e-9]
+Compare (the CI gate):
+    check_bench.py NEW_JSON BASELINE_JSON [--threshold 0.30] [--atol 1e-9]
 
 Fails (exit 1) when:
   - the schema versions differ,
@@ -12,6 +14,15 @@ Fails (exit 1) when:
     Values within --atol of each other (or both below it) never fail —
     machine-precision metrics (detailed-balance residuals ~1e-17) jitter in
     the last bit across compilers, which is not a regression.
+
+Refresh (after an intentional metric change or a new scenario):
+    check_bench.py --refresh [--bench build/bench/ppg-bench]
+                             [--baseline BENCH_baseline.json]
+
+Runs the bench binary in full (non-smoke) mode, prints the diff of gated
+metrics against the current baseline — regressions are reported but do not
+fail, since a refresh is by definition intentional — and rewrites the
+baseline file. Commit the diff it prints.
 
 Goal tags come from each scenario's "metric_goals" map in the baseline (the
 contract the baseline froze); goal-tagged metrics that are new since the
@@ -24,7 +35,10 @@ varies run to run.
 
 import argparse
 import json
+import os
+import subprocess
 import sys
+import tempfile
 
 
 def load(path):
@@ -39,34 +53,28 @@ def scenario_map(artifact):
     return {s["name"]: s for s in artifact.get("scenarios", [])}
 
 
-def main():
-    parser = argparse.ArgumentParser(
-        description="ppg-bench regression check against a baseline artifact")
-    parser.add_argument("new_json")
-    parser.add_argument("baseline_json")
-    parser.add_argument("--threshold", type=float, default=0.30,
-                        help="fractional regression allowed (default 0.30)")
-    parser.add_argument("--atol", type=float, default=1e-9,
-                        help="absolute noise floor (default 1e-9)")
-    args = parser.parse_args()
+def compare(new, baseline, threshold, atol):
+    """Returns (rows, failures, warnings) for the gated-metric diff.
 
-    new = load(args.new_json)
-    baseline = load(args.baseline_json)
-
+    Each failure is a (kind, message) pair, kind in {"schema", "missing",
+    "regression"}, so callers can filter structurally (--refresh keeps only
+    regressions) instead of by message substring."""
     failures = []
     warnings = []
 
     if new.get("schema_version") != baseline.get("schema_version"):
         failures.append(
-            f"schema_version mismatch: new={new.get('schema_version')} "
-            f"baseline={baseline.get('schema_version')}")
+            ("schema",
+             f"schema_version mismatch: new={new.get('schema_version')} "
+             f"baseline={baseline.get('schema_version')}"))
 
     new_scenarios = scenario_map(new)
     base_scenarios = scenario_map(baseline)
 
     for name in sorted(base_scenarios):
         if name not in new_scenarios:
-            failures.append(f"scenario '{name}' missing from new artifact")
+            failures.append(
+                ("missing", f"scenario '{name}' missing from new artifact"))
     for name in sorted(new_scenarios):
         if name not in base_scenarios:
             warnings.append(f"scenario '{name}' not in baseline — "
@@ -88,42 +96,134 @@ def main():
         for metric in sorted(base_goals):
             goal = base_goals[metric]
             if metric not in new_metrics:
-                failures.append(f"{name}.{metric} missing from new artifact")
+                failures.append(
+                    ("missing",
+                     f"{name}.{metric} missing from new artifact"))
                 continue
             old_value = base_metrics[metric]
             new_value = new_metrics[metric]
             verdict = "ok"
-            if abs(new_value - old_value) > args.atol:
+            if abs(new_value - old_value) > atol:
                 if goal == "min" and new_value > old_value * (
-                        1 + args.threshold) and new_value > args.atol:
+                        1 + threshold) and new_value > atol:
                     verdict = "REGRESSED"
                 elif goal == "max" and new_value < old_value * (
-                        1 - args.threshold):
+                        1 - threshold):
                     verdict = "REGRESSED"
-            change = ("n/a" if abs(old_value) <= args.atol else
+            change = ("n/a" if abs(old_value) <= atol else
                       f"{(new_value - old_value) / abs(old_value):+.1%}")
             rows.append((name, metric, goal, old_value, new_value, change,
                          verdict))
             if verdict == "REGRESSED":
                 failures.append(
-                    f"{name}.{metric} ({goal}): baseline {old_value:.6g} -> "
-                    f"{new_value:.6g} ({change})")
+                    ("regression",
+                     f"{name}.{metric} ({goal}): baseline {old_value:.6g} "
+                     f"-> {new_value:.6g} ({change})"))
+    return rows, failures, warnings
 
-    if rows:
-        name_w = max(len(r[0]) for r in rows)
-        metric_w = max(len(r[1]) for r in rows)
-        print(f"{'scenario':<{name_w}}  {'metric':<{metric_w}}  goal  "
-              f"{'baseline':>12}  {'new':>12}  {'change':>8}  verdict")
-        for name, metric, goal, old, cur, change, verdict in rows:
-            print(f"{name:<{name_w}}  {metric:<{metric_w}}  {goal:<4}  "
-                  f"{old:>12.6g}  {cur:>12.6g}  {change:>8}  {verdict}")
 
+def print_rows(rows):
+    if not rows:
+        return
+    name_w = max(len(r[0]) for r in rows)
+    metric_w = max(len(r[1]) for r in rows)
+    print(f"{'scenario':<{name_w}}  {'metric':<{metric_w}}  goal  "
+          f"{'baseline':>12}  {'new':>12}  {'change':>8}  verdict")
+    for name, metric, goal, old, cur, change, verdict in rows:
+        print(f"{name:<{name_w}}  {metric:<{metric_w}}  {goal:<4}  "
+              f"{old:>12.6g}  {cur:>12.6g}  {change:>8}  {verdict}")
+
+
+def refresh(args):
+    """Regenerates the baseline from a full (non-smoke) run and prints the
+    diff of gated metrics against the previous baseline."""
+    if not os.path.exists(args.bench):
+        sys.exit(f"check_bench: bench binary not found at {args.bench} "
+                 "(build it, or pass --bench)")
+    with tempfile.NamedTemporaryFile(
+            suffix=".json", prefix="bench-refresh-",
+            dir=os.path.dirname(os.path.abspath(args.baseline)),
+            delete=False) as handle:
+        fresh_path = handle.name
+    print(f"check_bench: running full suite: {args.bench} "
+          f"--json {fresh_path}")
+    run = subprocess.run(
+        [args.bench, "--json", fresh_path],
+        stdout=subprocess.DEVNULL, stderr=subprocess.PIPE, text=True)
+    if run.returncode != 0:
+        os.unlink(fresh_path)
+        sys.stderr.write(run.stderr)
+        sys.exit(f"check_bench: bench run failed (exit {run.returncode})")
+    fresh = load(fresh_path)
+
+    if os.path.exists(args.baseline):
+        baseline = load(args.baseline)
+        rows, failures, warnings = compare(fresh, baseline, args.threshold,
+                                           args.atol)
+        print_rows(rows)
+        for warning in warnings:
+            print(f"warning: {warning}")
+        moved = [msg for kind, msg in failures if kind == "regression"]
+        if moved:
+            print(f"\ncheck_bench: {len(moved)} gated metric(s) moved past "
+                  "the threshold (intentional for a refresh):")
+            for message in moved:
+                print(f"  - {message}")
+    else:
+        print(f"check_bench: no previous baseline at {args.baseline}; "
+              "writing a fresh one")
+
+    # Keep the harness's own serialization so baseline diffs stay clean.
+    os.replace(fresh_path, args.baseline)
+    gated = sum(len(s.get("metric_goals", {}))
+                for s in fresh.get("scenarios", []))
+    print(f"\ncheck_bench: wrote {args.baseline} "
+          f"({len(fresh.get('scenarios', []))} scenario(s), "
+          f"{gated} gated metric(s)); review and commit the diff")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="ppg-bench regression check against a baseline artifact")
+    parser.add_argument("new_json", nargs="?",
+                        help="artifact to check (compare mode)")
+    parser.add_argument("baseline_json", nargs="?",
+                        help="baseline to check against (compare mode)")
+    parser.add_argument("--refresh", action="store_true",
+                        help="regenerate the baseline from a full "
+                             "(non-smoke) run and print the gated diff")
+    parser.add_argument("--bench", default="build/bench/ppg-bench",
+                        help="bench binary for --refresh "
+                             "(default build/bench/ppg-bench)")
+    parser.add_argument("--baseline", default="BENCH_baseline.json",
+                        help="baseline path for --refresh "
+                             "(default BENCH_baseline.json)")
+    parser.add_argument("--threshold", type=float, default=0.30,
+                        help="fractional regression allowed (default 0.30)")
+    parser.add_argument("--atol", type=float, default=1e-9,
+                        help="absolute noise floor (default 1e-9)")
+    args = parser.parse_args()
+
+    if args.refresh:
+        if args.new_json or args.baseline_json:
+            parser.error("--refresh takes no positional artifacts")
+        return refresh(args)
+    if not args.new_json or not args.baseline_json:
+        parser.error("compare mode needs NEW_JSON and BASELINE_JSON "
+                     "(or pass --refresh)")
+
+    new = load(args.new_json)
+    baseline = load(args.baseline_json)
+    rows, failures, warnings = compare(new, baseline, args.threshold,
+                                       args.atol)
+    print_rows(rows)
     for warning in warnings:
         print(f"warning: {warning}")
     if failures:
         print(f"\ncheck_bench: {len(failures)} failure(s):")
-        for failure in failures:
-            print(f"  - {failure}")
+        for _, message in failures:
+            print(f"  - {message}")
         return 1
     print(f"\ncheck_bench: OK — {len(rows)} goal-tagged metric(s) within "
           f"{args.threshold:.0%} of baseline")

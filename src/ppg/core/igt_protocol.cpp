@@ -1,5 +1,7 @@
 #include "ppg/core/igt_protocol.hpp"
 
+#include <memory>
+
 #include "ppg/games/strategy.hpp"
 #include "ppg/util/error.hpp"
 #include "ppg/util/table.hpp"
@@ -16,51 +18,14 @@ agent_state igt_encoding::gtft(std::size_t level) {
 }
 
 igt_protocol::igt_protocol(std::size_t k, igt_discipline discipline)
-    : k_(k), discipline_(discipline) {
-  PPG_CHECK(k >= 2, "k-IGT requires k >= 2");
-}
-
-agent_state igt_protocol::updated_level(agent_state self,
-                                        agent_state partner) const {
-  if (!igt_encoding::is_gtft(self)) {
-    return self;  // AC/AD strategies stay fixed
-  }
-  const std::size_t level = igt_encoding::level(self);
-  PPG_CHECK(level < k_, "GTFT level out of range");
-  if (partner == igt_encoding::ad) {
-    return igt_encoding::gtft(level > 0 ? level - 1 : 0);
-  }
-  // Partner is AC or GTFT: increment (transition rules (i) and (ii)).
-  return igt_encoding::gtft(level + 1 < k_ ? level + 1 : k_ - 1);
-}
-
-std::pair<agent_state, agent_state> igt_protocol::interact(
-    agent_state initiator, agent_state responder, rng& /*gen*/) const {
-  // Both updates are keyed on the partner's *pre-interaction* state, as in
-  // the standard two-way population protocol semantics.
-  const agent_state next_initiator = updated_level(initiator, responder);
-  const agent_state next_responder =
-      discipline_ == igt_discipline::two_way
-          ? updated_level(responder, initiator)
-          : responder;
-  return {next_initiator, next_responder};
-}
-
-std::vector<outcome> igt_protocol::outcome_distribution(
-    agent_state initiator, agent_state responder) const {
-  const agent_state next_initiator = updated_level(initiator, responder);
-  const agent_state next_responder =
-      discipline_ == igt_discipline::two_way
-          ? updated_level(responder, initiator)
-          : responder;
-  return {{next_initiator, next_responder, 1.0}};
-}
-
-std::string igt_protocol::state_name(agent_state state) const {
-  if (state == igt_encoding::ac) return "AC";
-  if (state == igt_encoding::ad) return "AD";
-  return "g" + std::to_string(igt_encoding::level(state) + 1);
-}
+    // Definition 2.1 as a generic compilation: the paper's strategy set
+    // (igt_game_matrix keeps the igt_encoding state order and the AC/AD/gj
+    // names) under the laddered adjustment rule. The rule is payoff-blind,
+    // so the default rd_setting only decorates the matrix with payoffs for
+    // callers that inspect game().
+    : game_protocol(igt_game_matrix(k),
+                    std::make_shared<igt_ladder_rule>(k), discipline),
+      k_(k) {}
 
 igt_action_protocol::igt_action_protocol(std::size_t k, rd_setting setting,
                                          double g_max)

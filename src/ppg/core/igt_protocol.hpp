@@ -9,7 +9,11 @@
 //
 // Two variants are provided:
 //  - igt_protocol: transitions keyed on the responder's *strategy type*
-//    (the paper's Definition 2.1);
+//    (the paper's Definition 2.1). Since PR 4 this is a thin specialization
+//    of the generic game_protocol — the compilation of igt_game_matrix with
+//    igt_ladder_rule — kept as the canonical name; a bitwise-equivalence
+//    test against the legacy hand-written transition function lives in
+//    tests/test_game_dynamics.cpp.
 //  - igt_action_protocol: transitions keyed on the responder's *observed
 //    action* in an actually played repeated game (the alternative discussed
 //    after Definition 2.1; for large delta the two nearly coincide).
@@ -20,12 +24,14 @@
 
 #include "ppg/core/population_config.hpp"
 #include "ppg/games/closed_form.hpp"
+#include "ppg/games/game_protocol.hpp"
 #include "ppg/games/rollout.hpp"
-#include "ppg/pp/simulator.hpp"
+#include "ppg/pp/census.hpp"
 
 namespace ppg {
 
-/// State-encoding helpers shared by both variants.
+/// State-encoding helpers shared by both variants (and by igt_game_matrix /
+/// igt_ladder_rule, which follow the same ordering).
 struct igt_encoding {
   static constexpr agent_state ac = 0;
   static constexpr agent_state ad = 1;
@@ -39,39 +45,24 @@ struct igt_encoding {
 /// Whether only the initiator updates (the paper's one-way protocol,
 /// footnote 3) or both agents do (a natural ablation: the census stationary
 /// law is unchanged — each agent's level performs the same reflected walk —
-/// but the clock runs roughly twice as fast).
-enum class igt_discipline : std::uint8_t { one_way, two_way };
+/// but the clock runs roughly twice as fast). Alias of the generic
+/// revision_discipline so existing call sites keep compiling.
+using igt_discipline = revision_discipline;
 
-/// Definition 2.1 dynamics (type-keyed transitions).
-class igt_protocol final : public protocol {
+/// Definition 2.1 dynamics (type-keyed transitions): the game_protocol
+/// compilation of the paper's strategy set and laddered adjustment rule.
+/// The kernel is deterministic (a single support point per pair); it is
+/// what the census and batched engines execute, cross-checked against
+/// igt_count_chain (equation (5)) in the tests.
+class igt_protocol final : public game_protocol {
  public:
   explicit igt_protocol(std::size_t k,
                         igt_discipline discipline = igt_discipline::one_way);
 
   [[nodiscard]] std::size_t k() const { return k_; }
-  [[nodiscard]] igt_discipline discipline() const { return discipline_; }
-  [[nodiscard]] std::size_t num_states() const override { return 2 + k_; }
-  [[nodiscard]] bool has_kernel() const override { return true; }
-
-  /// Definition 2.1 is deterministic: a single support point per pair. The
-  /// kernel view is what the census and batched engines execute; it is
-  /// cross-checked against igt_count_chain (equation (5)) in the tests.
-  [[nodiscard]] std::vector<outcome> outcome_distribution(
-      agent_state initiator, agent_state responder) const override;
-
-  [[nodiscard]] std::pair<agent_state, agent_state> interact(
-      agent_state initiator, agent_state responder,
-      rng& gen) const override;
-
-  [[nodiscard]] std::string state_name(agent_state state) const override;
 
  private:
-  /// Applies rules (i)-(iii) to one GTFT agent given its partner's state.
-  [[nodiscard]] agent_state updated_level(agent_state self,
-                                          agent_state partner) const;
-
   std::size_t k_;
-  igt_discipline discipline_;
 };
 
 /// Action-keyed variant: the pair plays one repeated donation game and the

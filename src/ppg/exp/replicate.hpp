@@ -15,7 +15,7 @@
 
 #include "ppg/exp/aggregator.hpp"
 #include "ppg/exp/batch_runner.hpp"
-#include "ppg/pp/simulator.hpp"
+#include "ppg/pp/engine.hpp"
 
 namespace ppg {
 

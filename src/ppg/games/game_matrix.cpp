@@ -1,0 +1,136 @@
+#include "ppg/games/game_matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <unordered_set>
+#include <utility>
+
+#include "ppg/games/exact_payoff.hpp"
+#include "ppg/games/strategy.hpp"
+#include "ppg/util/error.hpp"
+
+namespace ppg {
+
+game_matrix::game_matrix(std::vector<std::string> strategy_names,
+                         std::vector<double> payoffs)
+    : names_(std::move(strategy_names)), payoffs_(std::move(payoffs)) {
+  PPG_CHECK(names_.size() >= 2, "a matrix game needs at least two strategies");
+  PPG_CHECK(payoffs_.size() == names_.size() * names_.size(),
+            "payoff matrix must be q x q for q strategy names");
+  std::unordered_set<std::string> seen;
+  for (const auto& name : names_) {
+    PPG_CHECK(!name.empty(), "strategy names must be non-empty");
+    PPG_CHECK(seen.insert(name).second, "strategy names must be unique");
+  }
+  for (const double a : payoffs_) {
+    PPG_CHECK(std::isfinite(a), "payoffs must be finite");
+  }
+  min_payoff_ = *std::min_element(payoffs_.begin(), payoffs_.end());
+  max_payoff_ = *std::max_element(payoffs_.begin(), payoffs_.end());
+}
+
+double game_matrix::payoff(std::size_t mine, std::size_t theirs) const {
+  PPG_CHECK(mine < names_.size() && theirs < names_.size(),
+            "strategy index out of range");
+  return payoffs_[mine * names_.size() + theirs];
+}
+
+const std::string& game_matrix::strategy_name(std::size_t s) const {
+  PPG_CHECK(s < names_.size(), "strategy index out of range");
+  return names_[s];
+}
+
+double game_matrix::expected_payoff(std::size_t s,
+                                    const std::vector<double>& mix) const {
+  PPG_CHECK(s < names_.size(), "strategy index out of range");
+  PPG_CHECK(mix.size() == names_.size(),
+            "mixed strategy width must match the strategy count");
+  double total = 0.0;
+  for (std::size_t j = 0; j < mix.size(); ++j) {
+    total += mix[j] * payoffs_[s * names_.size() + j];
+  }
+  return total;
+}
+
+double game_matrix::average_payoff(const std::vector<double>& mix) const {
+  double total = 0.0;
+  for (std::size_t s = 0; s < names_.size(); ++s) {
+    total += mix[s] * expected_payoff(s, mix);
+  }
+  return total;
+}
+
+std::vector<std::size_t> game_matrix::best_responses(
+    const std::vector<double>& mix, double tol) const {
+  double best = expected_payoff(0, mix);
+  for (std::size_t s = 1; s < names_.size(); ++s) {
+    best = std::max(best, expected_payoff(s, mix));
+  }
+  std::vector<std::size_t> out;
+  for (std::size_t s = 0; s < names_.size(); ++s) {
+    if (expected_payoff(s, mix) >= best - tol) out.push_back(s);
+  }
+  return out;
+}
+
+game_matrix donation_matrix(const donation_game& game) {
+  PPG_CHECK(game.valid(), "donation game requires b > c >= 0");
+  return prisoners_dilemma_matrix(game.payoffs());
+}
+
+game_matrix prisoners_dilemma_matrix(const pd_payoffs& p) {
+  return game_matrix({"C", "D"},
+                     {p.reward, p.sucker, p.temptation, p.punishment});
+}
+
+game_matrix hawk_dove_matrix(double value, double cost) {
+  PPG_CHECK(cost > value && value > 0.0,
+            "hawk-dove requires cost > value > 0 (interior equilibrium)");
+  return game_matrix(
+      {"H", "D"}, {(value - cost) / 2.0, value, 0.0, value / 2.0});
+}
+
+game_matrix stag_hunt_matrix(double stag, double hare) {
+  PPG_CHECK(stag > hare && hare > 0.0, "stag hunt requires stag > hare > 0");
+  return game_matrix({"S", "H"}, {stag, 0.0, hare, hare});
+}
+
+game_matrix rock_paper_scissors_matrix(double win, double loss) {
+  PPG_CHECK(win > 0.0 && loss > 0.0,
+            "rock-paper-scissors requires positive win/loss payoffs");
+  return game_matrix({"R", "P", "S"}, {0.0, -loss, win,    //
+                                       win, 0.0, -loss,    //
+                                       -loss, win, 0.0});
+}
+
+game_matrix igt_game_matrix(std::size_t k, const rd_setting& setting,
+                            double g_max) {
+  PPG_CHECK(k >= 2, "the generosity grid requires k >= 2");
+  PPG_CHECK(setting.valid(), "invalid RD setting");
+  PPG_CHECK(g_max >= 0.0 && g_max <= 1.0, "g_max must lie in [0, 1]");
+  const payoff_oracle oracle(setting.to_game(), setting.s1);
+  const auto grid = generosity_grid(k, g_max);
+  std::vector<paper_strategy> strategies;
+  std::vector<std::string> names;
+  strategies.reserve(2 + k);
+  names.reserve(2 + k);
+  strategies.push_back(paper_strategy::ac());
+  names.emplace_back("AC");
+  strategies.push_back(paper_strategy::ad());
+  names.emplace_back("AD");
+  for (std::size_t j = 0; j < k; ++j) {
+    strategies.push_back(paper_strategy::gtft(grid[j]));
+    names.push_back("g" + std::to_string(j + 1));
+  }
+  std::vector<double> payoffs;
+  payoffs.reserve(strategies.size() * strategies.size());
+  for (const auto& mine : strategies) {
+    for (const auto& theirs : strategies) {
+      payoffs.push_back(oracle.payoff(mine, theirs));
+    }
+  }
+  return game_matrix(std::move(names), std::move(payoffs));
+}
+
+}  // namespace ppg

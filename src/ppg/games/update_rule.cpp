@@ -1,0 +1,89 @@
+#include "ppg/games/update_rule.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ppg/util/error.hpp"
+
+namespace ppg {
+
+namespace {
+
+std::vector<double> point_mass(std::size_t q, std::size_t s) {
+  std::vector<double> p(q, 0.0);
+  p[s] = 1.0;
+  return p;
+}
+
+}  // namespace
+
+std::vector<double> imitate_if_better_rule::revise(
+    const game_matrix& g, std::size_t self, std::size_t partner) const {
+  const bool switch_over = g.payoff(partner, self) > g.payoff(self, partner);
+  return point_mass(g.num_strategies(), switch_over ? partner : self);
+}
+
+proportional_imitation_rule::proportional_imitation_rule(double rate)
+    : rate_(rate) {
+  PPG_CHECK(rate > 0.0 && rate <= 1.0, "imitation rate must lie in (0, 1]");
+}
+
+std::vector<double> proportional_imitation_rule::revise(
+    const game_matrix& g, std::size_t self, std::size_t partner) const {
+  const double span = g.payoff_span();
+  const double gap = g.payoff(partner, self) - g.payoff(self, partner);
+  // A constant game (span 0) admits no payoff-driven switching.
+  const double p =
+      span > 0.0 ? rate_ * std::max(0.0, gap) / span : 0.0;
+  auto out = point_mass(g.num_strategies(), self);
+  if (p > 0.0 && partner != self) {
+    out[self] = 1.0 - p;
+    out[partner] = p;
+  }
+  return out;
+}
+
+logit_response_rule::logit_response_rule(double temperature)
+    : temperature_(temperature) {
+  PPG_CHECK(temperature > 0.0, "logit temperature must be positive");
+}
+
+std::vector<double> logit_response_rule::revise(
+    const game_matrix& g, std::size_t /*self*/, std::size_t partner) const {
+  const std::size_t q = g.num_strategies();
+  std::vector<double> out(q, 0.0);
+  double best = g.payoff(0, partner);
+  for (std::size_t s = 1; s < q; ++s) {
+    best = std::max(best, g.payoff(s, partner));
+  }
+  double total = 0.0;
+  for (std::size_t s = 0; s < q; ++s) {
+    out[s] = std::exp((g.payoff(s, partner) - best) / temperature_);
+    total += out[s];
+  }
+  for (auto& p : out) p /= total;
+  return out;
+}
+
+igt_ladder_rule::igt_ladder_rule(std::size_t k) : k_(k) {
+  PPG_CHECK(k >= 2, "the IGT ladder requires k >= 2");
+}
+
+std::vector<double> igt_ladder_rule::revise(const game_matrix& g,
+                                            std::size_t self,
+                                            std::size_t partner) const {
+  PPG_CHECK(g.num_strategies() == 2 + k_,
+            "IGT ladder expects the {AC, AD, g_1..g_k} strategy set");
+  constexpr std::size_t ad = 1;
+  constexpr std::size_t first_rung = 2;
+  if (self < first_rung) {
+    return point_mass(g.num_strategies(), self);  // AC/AD stay fixed
+  }
+  const std::size_t level = self - first_rung;
+  const std::size_t next =
+      partner == ad ? (level > 0 ? level - 1 : 0)
+                    : (level + 1 < k_ ? level + 1 : k_ - 1);
+  return point_mass(g.num_strategies(), first_rung + next);
+}
+
+}  // namespace ppg

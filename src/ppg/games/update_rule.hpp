@@ -1,0 +1,110 @@
+// Strategy-revision rules: the "dynamics" half of the game -> update-rule ->
+// kernel compilation contract (DESIGN.md §7). A rule maps one encounter —
+// the reviser's strategy, the partner's strategy, and the game's payoffs —
+// to a distribution over the reviser's next strategy. Rules are *local*: the
+// distribution may depend only on the two encounter strategies and the
+// payoff matrix, never on the population census, so every compiled protocol
+// is a legal population protocol (Bournez et al., "Population Protocols that
+// Correspond to Symmetric Games").
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ppg/games/game_matrix.hpp"
+
+namespace ppg {
+
+/// A local strategy-revision rule.
+class update_rule {
+ public:
+  virtual ~update_rule() = default;
+  update_rule() = default;
+  update_rule(const update_rule&) = default;
+  update_rule& operator=(const update_rule&) = default;
+
+  /// The distribution over the reviser's next strategy after an encounter
+  /// in which it played `self` against `partner` in game `g`: a dense
+  /// probability vector of length g.num_strategies(), entries >= 0 summing
+  /// to 1 (game_protocol validates on compilation).
+  [[nodiscard]] virtual std::vector<double> revise(
+      const game_matrix& g, std::size_t self, std::size_t partner) const = 0;
+
+  /// Human-readable rule name (for tables and examples).
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Deterministic imitation: adopt the partner's strategy iff the partner's
+/// realized payoff in this encounter strictly beat the reviser's.
+class imitate_if_better_rule final : public update_rule {
+ public:
+  [[nodiscard]] std::vector<double> revise(
+      const game_matrix& g, std::size_t self,
+      std::size_t partner) const override;
+  [[nodiscard]] std::string name() const override {
+    return "imitate-if-better";
+  }
+};
+
+/// Schlag's proportional imitation: adopt the partner's strategy with
+/// probability rate * (partner's payoff - own payoff)_+ / payoff_span. For a
+/// zero-sum game (e.g. rock-paper-scissors) the mean-field limit is exactly
+/// the replicator dynamics at rate 2*rate/span (see games/mean_field.hpp and
+/// DESIGN.md §7).
+class proportional_imitation_rule final : public update_rule {
+ public:
+  explicit proportional_imitation_rule(double rate = 1.0);
+
+  [[nodiscard]] double rate() const { return rate_; }
+  [[nodiscard]] std::vector<double> revise(
+      const game_matrix& g, std::size_t self,
+      std::size_t partner) const override;
+  [[nodiscard]] std::string name() const override {
+    return "proportional-imitation";
+  }
+
+ private:
+  double rate_;
+};
+
+/// Smoothed (logit) best response to the sampled partner: the next strategy
+/// is drawn from softmax(a(., partner) / temperature). temperature -> 0
+/// approaches the exact best response to the partner's strategy;
+/// temperature -> infinity approaches uniform exploration.
+class logit_response_rule final : public update_rule {
+ public:
+  explicit logit_response_rule(double temperature);
+
+  [[nodiscard]] double temperature() const { return temperature_; }
+  [[nodiscard]] std::vector<double> revise(
+      const game_matrix& g, std::size_t self,
+      std::size_t partner) const override;
+  [[nodiscard]] std::string name() const override {
+    return "logit-best-response";
+  }
+
+ private:
+  double temperature_;
+};
+
+/// The paper's laddered IGT adjustment (Definition 2.1) over a
+/// generosity-indexed strategy set in igt_game_matrix order: strategies 0
+/// (AC) and 1 (AD) are fixed; a ladder strategy 2+j steps down to 2+(j-1)
+/// when the partner is AD and up to 2+(j+1) otherwise, clamped to the k rungs.
+class igt_ladder_rule final : public update_rule {
+ public:
+  explicit igt_ladder_rule(std::size_t k);
+
+  [[nodiscard]] std::size_t k() const { return k_; }
+  [[nodiscard]] std::vector<double> revise(
+      const game_matrix& g, std::size_t self,
+      std::size_t partner) const override;
+  [[nodiscard]] std::string name() const override { return "igt-ladder"; }
+
+ private:
+  std::size_t k_;
+};
+
+}  // namespace ppg

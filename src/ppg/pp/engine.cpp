@@ -1,7 +1,10 @@
 #include "ppg/pp/engine.hpp"
 
 #include <algorithm>
+#include <utility>
 
+#include "ppg/pp/batched_engine.hpp"
+#include "ppg/pp/census_engine.hpp"
 #include "ppg/util/error.hpp"
 
 namespace ppg {
@@ -52,6 +55,132 @@ double sim_engine::parallel_time() const {
   const census_view now = census();
   return static_cast<double>(interactions()) /
          static_cast<double>(now.population_size());
+}
+
+simulation::simulation(const protocol& proto, population agents, rng gen,
+                       pair_sampling sampling)
+    : proto_(&proto),
+      agents_(std::move(agents)),
+      gen_(gen),
+      sampling_(sampling) {
+  PPG_CHECK(agents_.num_state_kinds() >= proto_->num_states(),
+            "population state space smaller than the protocol's");
+  PPG_CHECK(agents_.size() >= 2, "a protocol needs at least two agents");
+}
+
+void simulation::step() {
+  const interaction pair =
+      sampling_ == pair_sampling::distinct
+          ? sample_distinct_pair(agents_.size(), gen_)
+          : sample_with_replacement_pair(agents_.size(), gen_);
+  const auto [next_initiator, next_responder] =
+      proto_->interact(agents_.state_of(pair.initiator),
+                       agents_.state_of(pair.responder), gen_);
+  // Catch rogue protocols loudly in every build type; the applications below
+  // then take the debug-checked fast path (the pair indices come from the
+  // scheduler, which guarantees they are in range).
+  PPG_CHECK(next_initiator < agents_.num_state_kinds() &&
+                next_responder < agents_.num_state_kinds(),
+            "protocol emitted a state outside the population's space");
+  agents_.apply_interaction(pair.initiator, next_initiator);
+  // Self-interactions can occur under with_replacement sampling; applying
+  // the responder update second would clobber the initiator's, so skip it.
+  if (pair.responder != pair.initiator) {
+    agents_.apply_interaction(pair.responder, next_responder);
+  }
+  ++interactions_;
+}
+
+void simulation::run(std::uint64_t steps) {
+  for (std::uint64_t i = 0; i < steps; ++i) {
+    step();
+  }
+}
+
+std::uint64_t simulation::run_until_agents(
+    const std::function<bool(const population&)>& converged,
+    std::uint64_t max_steps) {
+  std::uint64_t executed = 0;
+  while (executed < max_steps && !converged(agents_)) {
+    step();
+    ++executed;
+  }
+  return executed;
+}
+
+namespace {
+
+/// Expands a census into a per-agent state vector, grouped by state. Agents
+/// are anonymous, so any ordering induces the same interaction law.
+std::vector<agent_state> states_from_counts(
+    const std::vector<std::uint64_t>& counts) {
+  std::uint64_t n = 0;
+  for (const auto c : counts) n += c;
+  std::vector<agent_state> states;
+  states.reserve(static_cast<std::size_t>(n));
+  for (std::size_t s = 0; s < counts.size(); ++s) {
+    for (std::uint64_t i = 0; i < counts[s]; ++i) {
+      states.push_back(static_cast<agent_state>(s));
+    }
+  }
+  return states;
+}
+
+}  // namespace
+
+sim_spec::sim_spec(const protocol& proto, population initial,
+                   pair_sampling sampling)
+    : proto_(&proto),
+      initial_(std::move(initial)),
+      initial_counts_(initial_->counts()),
+      n_(initial_->size()),
+      sampling_(sampling) {
+  PPG_CHECK(initial_->num_state_kinds() >= proto_->num_states(),
+            "population state space smaller than the protocol's");
+  PPG_CHECK(n_ >= 2, "a protocol needs at least two agents");
+}
+
+sim_spec::sim_spec(const protocol& proto,
+                   std::vector<std::uint64_t> initial_counts,
+                   pair_sampling sampling)
+    : proto_(&proto),
+      initial_counts_(std::move(initial_counts)),
+      sampling_(sampling) {
+  PPG_CHECK(initial_counts_.size() >= proto_->num_states(),
+            "census state space smaller than the protocol's");
+  for (const auto c : initial_counts_) n_ += c;
+  PPG_CHECK(n_ >= 2, "a protocol needs at least two agents");
+}
+
+const population& sim_spec::initial() const {
+  PPG_CHECK(initial_.has_value(),
+            "spec was built from a census; no per-agent initial condition");
+  return *initial_;
+}
+
+simulation sim_spec::instantiate(rng& gen) const {
+  if (initial_.has_value()) {
+    return simulation(*proto_, *initial_, gen.split(), sampling_);
+  }
+  return simulation(
+      *proto_,
+      population(states_from_counts(initial_counts_), initial_counts_.size()),
+      gen.split(), sampling_);
+}
+
+std::unique_ptr<sim_engine> sim_spec::make_engine(engine_kind kind,
+                                                  rng& gen) const {
+  switch (kind) {
+    case engine_kind::agent:
+      return std::make_unique<simulation>(instantiate(gen));
+    case engine_kind::census:
+      return std::make_unique<census_engine>(*proto_, initial_counts_,
+                                             gen.split(), sampling_);
+    case engine_kind::batched:
+      return std::make_unique<batched_engine>(*proto_, initial_counts_,
+                                              gen.split(), sampling_);
+  }
+  PPG_CHECK(false, "unknown engine kind");
 }
 
 }  // namespace ppg

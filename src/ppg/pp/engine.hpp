@@ -3,13 +3,19 @@
 // exposes the same surface (step / run / run_until / run_with_snapshots /
 // census / interactions / parallel_time), so drivers and experiments are
 // written once and the backend is a runtime choice (sim_spec::make_engine).
+// The protocol abstraction itself lives in pp/kernel.hpp.
 // See DESIGN.md §3 for the engine architecture.
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
 #include <vector>
 
 #include "ppg/pp/census.hpp"
+#include "ppg/pp/kernel.hpp"
+#include "ppg/pp/scheduler.hpp"
 
 namespace ppg {
 
@@ -75,6 +81,104 @@ class sim_engine {
   sim_engine(sim_engine&&) = default;
   sim_engine& operator=(const sim_engine&) = default;
   sim_engine& operator=(sim_engine&&) = default;
+};
+
+/// The agent-level engine: a per-agent state array, one protocol::interact
+/// call per scheduled pair. This is the reference implementation every other
+/// engine is law-equivalent to, and the only engine that supports protocols
+/// without a kernel.
+class simulation final : public sim_engine {
+ public:
+  simulation(const protocol& proto, population agents, rng gen,
+             pair_sampling sampling = pair_sampling::distinct);
+
+  void step() override;
+  void run(std::uint64_t steps) override;
+
+  using sim_engine::run_until;
+
+  /// Deprecated shim for population-based convergence predicates; new code
+  /// should use run_until with a census_predicate (available on every
+  /// engine). Only the agent engine can evaluate population-based
+  /// predicates, so this shim has no equivalent on the interface.
+  std::uint64_t run_until_agents(
+      const std::function<bool(const population&)>& converged,
+      std::uint64_t max_steps);
+
+  [[nodiscard]] const population& agents() const { return agents_; }
+  [[nodiscard]] census_view census() const override { return {agents_}; }
+  [[nodiscard]] std::uint64_t interactions() const override {
+    return interactions_;
+  }
+  [[nodiscard]] engine_kind kind() const override { return engine_kind::agent; }
+
+ private:
+  const protocol* proto_;
+  population agents_;
+  rng gen_;
+  pair_sampling sampling_;
+  std::uint64_t interactions_ = 0;
+};
+
+/// A seedless recipe for a simulation: protocol, initial condition, and
+/// sampling discipline. Replica R of a batch is `instantiate(gen_R)` (or
+/// `make_engine(kind, gen_R)`) — every replica starts from the identical
+/// initial condition and differs only in its RNG stream, which is what the
+/// batch engine needs to fan one configuration out across a worker pool.
+/// The protocol must outlive the spec and every engine built from it.
+///
+/// The initial condition may be given per-agent (a population) or as a bare
+/// census (counts per state). The census form never allocates per-agent
+/// state, so census/batched engines scale to populations far beyond what an
+/// agent array can hold; the agent engine materializes agents from the
+/// census (grouped by state) on demand.
+class sim_spec {
+ public:
+  sim_spec(const protocol& proto, population initial,
+           pair_sampling sampling = pair_sampling::distinct);
+
+  sim_spec(const protocol& proto, std::vector<std::uint64_t> initial_counts,
+           pair_sampling sampling = pair_sampling::distinct);
+
+  /// A fresh agent-level simulation at the initial condition. The simulation
+  /// is seeded from gen.split(), so it owns an independent stream: the
+  /// caller's generator never shares draws with the simulation
+  /// (instantiating twice from one generator yields two *different*
+  /// trajectories).
+  [[nodiscard]] simulation instantiate(rng& gen) const;
+
+  /// A fresh engine of the requested kind at the initial condition, seeded
+  /// from gen.split() exactly like instantiate — make_engine(agent, gen) and
+  /// instantiate(gen) from equal generator states produce bitwise-identical
+  /// trajectories. The census and batched engines require the protocol to
+  /// expose a kernel; the batched engine additionally requires
+  /// pair_sampling::distinct.
+  [[nodiscard]] std::unique_ptr<sim_engine> make_engine(engine_kind kind,
+                                                        rng& gen) const;
+
+  /// The per-agent initial condition; only available when the spec was
+  /// constructed from a population.
+  [[nodiscard]] const population& initial() const;
+  [[nodiscard]] bool has_agent_initial() const { return initial_.has_value(); }
+
+  /// The initial census (always available).
+  [[nodiscard]] const std::vector<std::uint64_t>& initial_counts() const {
+    return initial_counts_;
+  }
+  [[nodiscard]] std::uint64_t population_size() const { return n_; }
+  [[nodiscard]] std::size_t num_state_kinds() const {
+    return initial_counts_.size();
+  }
+
+  [[nodiscard]] const protocol& proto() const { return *proto_; }
+  [[nodiscard]] pair_sampling sampling() const { return sampling_; }
+
+ private:
+  const protocol* proto_;
+  std::optional<population> initial_;
+  std::vector<std::uint64_t> initial_counts_;
+  std::uint64_t n_ = 0;
+  pair_sampling sampling_;
 };
 
 }  // namespace ppg

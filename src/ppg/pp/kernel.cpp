@@ -6,6 +6,35 @@
 
 namespace ppg {
 
+std::vector<outcome> protocol::outcome_distribution(
+    agent_state /*initiator*/, agent_state /*responder*/) const {
+  PPG_CHECK(false,
+            "protocol exposes no transition kernel: override "
+            "outcome_distribution (and has_kernel), or use the agent engine "
+            "with an interact override");
+}
+
+std::pair<agent_state, agent_state> protocol::interact(
+    agent_state initiator, agent_state responder, rng& gen) const {
+  const auto dist = outcome_distribution(initiator, responder);
+  PPG_CHECK(!dist.empty(), "empty outcome distribution");
+  if (dist.size() == 1) {
+    return {dist.front().initiator, dist.front().responder};
+  }
+  double u = gen.next_double();
+  for (const auto& o : dist) {
+    u -= o.probability;
+    if (u < 0.0) return {o.initiator, o.responder};
+  }
+  // Guard against floating-point shortfall: the kernel contract guarantees
+  // the probabilities sum to 1 up to rounding.
+  return {dist.back().initiator, dist.back().responder};
+}
+
+std::string protocol::state_name(agent_state state) const {
+  return "s" + std::to_string(state);
+}
+
 kernel_table::kernel_table(const protocol& proto) : q_(proto.num_states()) {
   PPG_CHECK(proto.has_kernel(),
             "protocol exposes no transition kernel; census/batched engines "

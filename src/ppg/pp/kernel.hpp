@@ -1,18 +1,73 @@
-// Precomputed transition-kernel table: the full outcome distribution of a
-// protocol, enumerated once over all ordered state pairs and validated
-// against the kernel contract (DESIGN.md §2). The census and batched
-// engines sample from this table instead of calling protocol::interact, so
-// per-interaction work is independent of the population size.
+// The protocol abstraction and its transition kernel. A population protocol
+// is described once by its state-pair kernel (outcome_distribution); the
+// kernel_table below is the flattened, validated form the census and batched
+// engines sample from, so per-interaction work is independent of the
+// population size. Execution backends live in pp/engine.hpp. See DESIGN.md
+// §2 for the kernel contract.
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <utility>
 #include <vector>
 
-#include "ppg/pp/simulator.hpp"
+#include "ppg/pp/population.hpp"
 #include "ppg/util/rng.hpp"
 
 namespace ppg {
+
+/// One support point of a transition kernel: the post-interaction
+/// (initiator, responder) states and their probability.
+struct outcome {
+  agent_state initiator = 0;
+  agent_state responder = 0;
+  double probability = 1.0;
+};
+
+/// A population protocol: a (possibly randomized) transition function over
+/// ordered pairs of states.
+///
+/// Protocols have two equivalent descriptions and may implement either:
+///  - the *kernel view*: outcome_distribution(q_i, q_r) enumerates the finite
+///    distribution over post-interaction pairs (override it and has_kernel);
+///    interact() then defaults to sampling that distribution, so kernel
+///    protocols only write one function;
+///  - the *sampling view*: interact(q_i, q_r, gen) draws the post-interaction
+///    pair directly. Protocols whose randomness is impractical to enumerate
+///    (e.g. igt_action_protocol's repeated-game rollouts) implement only this
+///    and are restricted to the agent engine.
+/// Deterministic protocols get a fast path for free: a single-support-point
+/// distribution is applied without consuming random draws.
+class protocol {
+ public:
+  virtual ~protocol() = default;
+  protocol() = default;
+  protocol(const protocol&) = default;
+  protocol& operator=(const protocol&) = default;
+
+  /// Size of the local state space.
+  [[nodiscard]] virtual std::size_t num_states() const = 0;
+
+  /// Whether outcome_distribution is implemented. Engines that execute at
+  /// the census level (census, batched) require a kernel.
+  [[nodiscard]] virtual bool has_kernel() const { return false; }
+
+  /// The finite distribution over post-interaction (q_i', q_r') pairs for an
+  /// ordered (initiator, responder) state pair. Probabilities must be
+  /// positive and sum to 1. The default implementation throws; override it
+  /// together with has_kernel.
+  [[nodiscard]] virtual std::vector<outcome> outcome_distribution(
+      agent_state initiator, agent_state responder) const;
+
+  /// New (initiator, responder) states after an interaction. The default
+  /// implementation samples outcome_distribution (consuming one uniform draw
+  /// only when the distribution has more than one support point).
+  [[nodiscard]] virtual std::pair<agent_state, agent_state> interact(
+      agent_state initiator, agent_state responder, rng& gen) const;
+
+  /// Human-readable state name (for traces and examples).
+  [[nodiscard]] virtual std::string state_name(agent_state state) const;
+};
 
 /// Flattened, validated kernel of a protocol over its q = num_states()
 /// ordered state pairs. Construction checks, for every pair, that outcome

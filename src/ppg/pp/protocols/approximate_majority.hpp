@@ -11,7 +11,8 @@
 //   Y + B -> Y + Y
 #pragma once
 
-#include "ppg/pp/simulator.hpp"
+#include "ppg/pp/census.hpp"
+#include "ppg/pp/kernel.hpp"
 
 namespace ppg {
 

@@ -5,7 +5,8 @@
 // literature as a canonical population-protocol task).
 #pragma once
 
-#include "ppg/pp/simulator.hpp"
+#include "ppg/pp/census.hpp"
+#include "ppg/pp/kernel.hpp"
 
 namespace ppg {
 

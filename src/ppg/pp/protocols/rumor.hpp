@@ -4,7 +4,8 @@
 // discipline the k-IGT dynamics uses (footnote 3 of the paper).
 #pragma once
 
-#include "ppg/pp/simulator.hpp"
+#include "ppg/pp/census.hpp"
+#include "ppg/pp/kernel.hpp"
 
 namespace ppg {
 

@@ -5,6 +5,7 @@
 
 #include "ppg/markov/absorbing.hpp"
 #include "ppg/markov/random_walk.hpp"
+#include "ppg/pp/engine.hpp"
 #include "ppg/pp/protocols/leader_election.hpp"
 #include "ppg/stats/summary.hpp"
 #include "ppg/util/error.hpp"

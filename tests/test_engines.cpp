@@ -12,12 +12,14 @@
 #include <cmath>
 #include <functional>
 
+#include "engine_agreement.hpp"
 #include "ppg/core/igt_count_chain.hpp"
 #include "ppg/core/igt_protocol.hpp"
 #include "ppg/pp/batched_engine.hpp"
 #include "ppg/pp/census_engine.hpp"
 #include "ppg/pp/kernel.hpp"
 #include "ppg/pp/protocols/approximate_majority.hpp"
+#include "ppg/pp/protocols/leader_election.hpp"
 #include "ppg/pp/protocols/rumor.hpp"
 #include "ppg/stats/chi_square.hpp"
 #include "ppg/stats/empirical.hpp"
@@ -25,58 +27,6 @@
 
 namespace ppg {
 namespace {
-
-// Runs `replicas` independent engines of `kind` for `steps` interactions
-// each and collects a scalar census statistic per replica.
-std::vector<double> replica_statistics(
-    const sim_spec& spec, engine_kind kind, std::size_t replicas,
-    std::uint64_t steps, std::uint64_t master,
-    const std::function<double(const census_view&)>& statistic) {
-  std::vector<double> out;
-  out.reserve(replicas);
-  for (std::size_t r = 0; r < replicas; ++r) {
-    rng gen = make_stream_rng(master, r);
-    const auto engine = spec.make_engine(kind, gen);
-    engine->run(steps);
-    out.push_back(statistic(engine->census()));
-  }
-  return out;
-}
-
-// Two-sample chi-square homogeneity test on scalar samples, binned at the
-// pooled quantiles; returns the upper-tail p-value.
-double two_sample_p(const std::vector<double>& a,
-                    const std::vector<double>& b, std::size_t bins) {
-  std::vector<double> pooled = a;
-  pooled.insert(pooled.end(), b.begin(), b.end());
-  std::sort(pooled.begin(), pooled.end());
-  std::vector<double> edges;
-  for (std::size_t i = 1; i < bins; ++i) {
-    const double e = pooled[i * pooled.size() / bins];
-    if (edges.empty() || e > edges.back()) edges.push_back(e);
-  }
-  const auto bin_of = [&](double x) {
-    return static_cast<std::size_t>(
-        std::upper_bound(edges.begin(), edges.end(), x) - edges.begin());
-  };
-  std::vector<double> oa(edges.size() + 1, 0.0);
-  std::vector<double> ob(edges.size() + 1, 0.0);
-  for (const double x : a) oa[bin_of(x)] += 1.0;
-  for (const double x : b) ob[bin_of(x)] += 1.0;
-  const double na = static_cast<double>(a.size());
-  const double nb = static_cast<double>(b.size());
-  double statistic = 0.0;
-  double dof = -1.0;
-  for (std::size_t i = 0; i < oa.size(); ++i) {
-    if (oa[i] + ob[i] == 0.0) continue;
-    const double d =
-        std::sqrt(nb / na) * oa[i] - std::sqrt(na / nb) * ob[i];
-    statistic += d * d / (oa[i] + ob[i]);
-    dof += 1.0;
-  }
-  if (dof < 1.0) return 1.0;  // all mass in one bin: distributions agree
-  return chi_square_tail(statistic, dof);
-}
 
 TEST(Kernel, IgtKernelMatchesInteract) {
   rng gen(1);
@@ -206,17 +156,14 @@ TEST(Engines, AgreeOnIgtAtFixedParallelTime) {
     return level_mass;
   };
   constexpr std::size_t replicas = 300;
-  const auto agent =
-      replica_statistics(spec, engine_kind::agent, replicas, steps, 90,
-                         statistic);
-  const auto census =
-      replica_statistics(spec, engine_kind::census, replicas, steps, 91,
-                         statistic);
-  const auto batched =
-      replica_statistics(spec, engine_kind::batched, replicas, steps, 92,
-                         statistic);
-  EXPECT_GT(two_sample_p(agent, census, 8), 1e-4);
-  EXPECT_GT(two_sample_p(agent, batched, 8), 1e-4);
+  const auto agent = testing::replica_statistics(
+      spec, engine_kind::agent, replicas, steps, 90, statistic);
+  const auto census = testing::replica_statistics(
+      spec, engine_kind::census, replicas, steps, 91, statistic);
+  const auto batched = testing::replica_statistics(
+      spec, engine_kind::batched, replicas, steps, 92, statistic);
+  EXPECT_GT(testing::two_sample_p(agent, census, 8), 1e-4);
+  EXPECT_GT(testing::two_sample_p(agent, batched, 8), 1e-4);
 }
 
 TEST(Engines, AgreeOnApproximateMajorityAtFixedParallelTime) {
@@ -233,17 +180,14 @@ TEST(Engines, AgreeOnApproximateMajorityAtFixedParallelTime) {
            static_cast<double>(census.count(amp::state_y));
   };
   constexpr std::size_t replicas = 300;
-  const auto agent =
-      replica_statistics(spec, engine_kind::agent, replicas, steps, 93,
-                         statistic);
-  const auto census =
-      replica_statistics(spec, engine_kind::census, replicas, steps, 94,
-                         statistic);
-  const auto batched =
-      replica_statistics(spec, engine_kind::batched, replicas, steps, 95,
-                         statistic);
-  EXPECT_GT(two_sample_p(agent, census, 8), 1e-4);
-  EXPECT_GT(two_sample_p(agent, batched, 8), 1e-4);
+  const auto agent = testing::replica_statistics(
+      spec, engine_kind::agent, replicas, steps, 93, statistic);
+  const auto census = testing::replica_statistics(
+      spec, engine_kind::census, replicas, steps, 94, statistic);
+  const auto batched = testing::replica_statistics(
+      spec, engine_kind::batched, replicas, steps, 95, statistic);
+  EXPECT_GT(testing::two_sample_p(agent, census, 8), 1e-4);
+  EXPECT_GT(testing::two_sample_p(agent, batched, 8), 1e-4);
 }
 
 TEST(Engines, AgreeOnRumorAtFixedParallelTime) {
@@ -256,17 +200,34 @@ TEST(Engines, AgreeOnRumorAtFixedParallelTime) {
     return static_cast<double>(census.count(rumor_protocol::state_informed));
   };
   constexpr std::size_t replicas = 300;
-  const auto agent =
-      replica_statistics(spec, engine_kind::agent, replicas, steps, 96,
-                         statistic);
-  const auto census =
-      replica_statistics(spec, engine_kind::census, replicas, steps, 97,
-                         statistic);
-  const auto batched =
-      replica_statistics(spec, engine_kind::batched, replicas, steps, 98,
-                         statistic);
-  EXPECT_GT(two_sample_p(agent, census, 8), 1e-4);
-  EXPECT_GT(two_sample_p(agent, batched, 8), 1e-4);
+  const auto agent = testing::replica_statistics(
+      spec, engine_kind::agent, replicas, steps, 96, statistic);
+  const auto census = testing::replica_statistics(
+      spec, engine_kind::census, replicas, steps, 97, statistic);
+  const auto batched = testing::replica_statistics(
+      spec, engine_kind::batched, replicas, steps, 98, statistic);
+  EXPECT_GT(testing::two_sample_p(agent, census, 8), 1e-4);
+  EXPECT_GT(testing::two_sample_p(agent, batched, 8), 1e-4);
+}
+
+TEST(Engines, AgreeOnLeaderElectionAtFixedParallelTime) {
+  const leader_election_protocol proto;
+  const sim_spec spec(
+      proto, population(150, leader_election_protocol::state_leader, 2));
+  const std::uint64_t steps = 2 * 150;  // parallel time 2: mid-election
+  const auto statistic = [](const census_view& census) {
+    return static_cast<double>(
+        census.count(leader_election_protocol::state_leader));
+  };
+  constexpr std::size_t replicas = 300;
+  const auto agent = testing::replica_statistics(
+      spec, engine_kind::agent, replicas, steps, 110, statistic);
+  const auto census = testing::replica_statistics(
+      spec, engine_kind::census, replicas, steps, 111, statistic);
+  const auto batched = testing::replica_statistics(
+      spec, engine_kind::batched, replicas, steps, 112, statistic);
+  EXPECT_GT(testing::two_sample_p(agent, census, 8), 1e-4);
+  EXPECT_GT(testing::two_sample_p(agent, batched, 8), 1e-4);
 }
 
 TEST(Engines, ChiSquareCrossCheckDetectsDifferentLaws) {
@@ -279,11 +240,11 @@ TEST(Engines, ChiSquareCrossCheckDetectsDifferentLaws) {
   const auto statistic = [](const census_view& census) {
     return static_cast<double>(census.count(rumor_protocol::state_informed));
   };
-  const auto early =
-      replica_statistics(spec, engine_kind::census, 300, 150, 99, statistic);
-  const auto late = replica_statistics(spec, engine_kind::census, 300,
-                                       3 * 150, 100, statistic);
-  EXPECT_LT(two_sample_p(early, late, 8), 1e-6);
+  const auto early = testing::replica_statistics(
+      spec, engine_kind::census, 300, 150, 99, statistic);
+  const auto late = testing::replica_statistics(
+      spec, engine_kind::census, 300, 3 * 150, 100, statistic);
+  EXPECT_LT(testing::two_sample_p(early, late, 8), 1e-6);
 }
 
 TEST(Engines, CensusEngineMatchesCountChainStationary) {

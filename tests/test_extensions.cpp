@@ -7,6 +7,7 @@
 #include "ppg/core/equilibrium.hpp"
 #include "ppg/core/igt_count_chain.hpp"
 #include "ppg/core/igt_protocol.hpp"
+#include "ppg/pp/engine.hpp"
 #include "ppg/stats/empirical.hpp"
 #include "ppg/util/error.hpp"
 

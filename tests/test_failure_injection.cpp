@@ -9,7 +9,7 @@
 #include "ppg/ehrenfest/exact_chain.hpp"
 #include "ppg/markov/chain.hpp"
 #include "ppg/markov/stationary.hpp"
-#include "ppg/pp/simulator.hpp"
+#include "ppg/pp/engine.hpp"
 #include "ppg/pp/trace.hpp"
 #include "ppg/stats/chi_square.hpp"
 #include "ppg/util/error.hpp"

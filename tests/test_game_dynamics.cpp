@@ -1,0 +1,447 @@
+// The generic game-dynamics layer: game_matrix builders, update-rule
+// contracts, the game_protocol compilation (game + rule -> kernel), engine
+// agreement (two-sample chi-square at fixed parallel time across the agent,
+// census, and batched engines for every update rule on at least two games),
+// and bitwise equivalence of igt_protocol — now a game_protocol
+// specialization — with the paper's hand-written Definition 2.1 transition
+// function, frozen here as the reference.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "engine_agreement.hpp"
+#include "ppg/core/igt_protocol.hpp"
+#include "ppg/games/game_matrix.hpp"
+#include "ppg/games/game_protocol.hpp"
+#include "ppg/games/update_rule.hpp"
+#include "ppg/pp/engine.hpp"
+#include "ppg/pp/kernel.hpp"
+#include "ppg/stats/chi_square.hpp"
+#include "ppg/util/error.hpp"
+
+namespace ppg {
+namespace {
+
+TEST(GameMatrix, DonationMatrixIsThePaperPrisonersDilemma) {
+  const donation_game game{3.0, 1.0};
+  const auto m = donation_matrix(game);
+  ASSERT_EQ(m.num_strategies(), 2u);
+  EXPECT_EQ(m.strategy_name(0), "C");
+  EXPECT_EQ(m.strategy_name(1), "D");
+  EXPECT_DOUBLE_EQ(m.payoff(0, 0), 2.0);   // b - c
+  EXPECT_DOUBLE_EQ(m.payoff(0, 1), -1.0);  // -c
+  EXPECT_DOUBLE_EQ(m.payoff(1, 0), 3.0);   // b
+  EXPECT_DOUBLE_EQ(m.payoff(1, 1), 0.0);
+  EXPECT_TRUE(game.payoffs().is_prisoners_dilemma());
+  // Defection dominates against any mix.
+  for (const double x : {0.0, 0.3, 1.0}) {
+    EXPECT_GT(m.expected_payoff(1, {x, 1.0 - x}),
+              m.expected_payoff(0, {x, 1.0 - x}));
+  }
+}
+
+TEST(GameMatrix, HawkDoveMixedEquilibriumAtValueOverCost) {
+  const auto m = hawk_dove_matrix(1.0, 2.0);
+  // At hawk fraction v/c both strategies earn the same.
+  const std::vector<double> ess = {0.5, 0.5};
+  EXPECT_NEAR(m.expected_payoff(0, ess), m.expected_payoff(1, ess), 1e-12);
+  EXPECT_EQ(m.best_responses(ess).size(), 2u);
+  // Above it doves do better, below it hawks do.
+  EXPECT_GT(m.expected_payoff(1, {0.7, 0.3}),
+            m.expected_payoff(0, {0.7, 0.3}));
+  EXPECT_GT(m.expected_payoff(0, {0.3, 0.7}),
+            m.expected_payoff(1, {0.3, 0.7}));
+}
+
+TEST(GameMatrix, StagHuntHasTwoPureEquilibriaAndAThreshold) {
+  const auto m = stag_hunt_matrix(4.0, 3.0);
+  EXPECT_EQ(m.best_responses({1.0, 0.0}),
+            (std::vector<std::size_t>{0}));  // all-stag: stag best
+  EXPECT_EQ(m.best_responses({0.0, 1.0}),
+            (std::vector<std::size_t>{1}));  // all-hare: hare best
+  // Indifference at stag fraction hare/stag = 3/4.
+  const std::vector<double> threshold = {0.75, 0.25};
+  EXPECT_NEAR(m.expected_payoff(0, threshold),
+              m.expected_payoff(1, threshold), 1e-12);
+}
+
+TEST(GameMatrix, RockPaperScissorsIsZeroSumWithUniformEquilibrium) {
+  const auto m = rock_paper_scissors_matrix();
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(m.payoff(i, j), -m.payoff(j, i));
+    }
+  }
+  const std::vector<double> uniform(3, 1.0 / 3.0);
+  EXPECT_NEAR(m.average_payoff(uniform), 0.0, 1e-12);
+  EXPECT_EQ(m.best_responses(uniform).size(), 3u);
+}
+
+TEST(GameMatrix, IgtMatrixMatchesTheClosedFormPayoffs) {
+  const std::size_t k = 4;
+  const rd_setting setting{2.0, 1.0, 0.9, 0.8};
+  const double g_max = 0.6;
+  const auto m = igt_game_matrix(k, setting, g_max);
+  ASSERT_EQ(m.num_strategies(), 2 + k);
+  EXPECT_EQ(m.strategy_name(0), "AC");
+  EXPECT_EQ(m.strategy_name(1), "AD");
+  EXPECT_EQ(m.strategy_name(2), "g1");
+  EXPECT_EQ(m.strategy_name(2 + k - 1), "g" + std::to_string(k));
+  const auto grid = generosity_grid(k, g_max);
+  for (std::size_t i = 0; i < k; ++i) {
+    EXPECT_NEAR(m.payoff(2 + i, 0), f_gtft_vs_ac(setting), 1e-9);
+    EXPECT_NEAR(m.payoff(2 + i, 1), f_gtft_vs_ad(setting, grid[i]), 1e-9);
+    for (std::size_t j = 0; j < k; ++j) {
+      EXPECT_NEAR(m.payoff(2 + i, 2 + j),
+                  f_gtft_vs_gtft(setting, grid[i], grid[j]), 1e-9);
+    }
+  }
+}
+
+TEST(GameMatrix, ConstructionRejectsMalformedInput) {
+  EXPECT_THROW(game_matrix({"A"}, {1.0}), invariant_error);
+  EXPECT_THROW(game_matrix({"A", "B"}, {1.0, 2.0, 3.0}), invariant_error);
+  EXPECT_THROW(game_matrix({"A", "A"}, {0.0, 0.0, 0.0, 0.0}),
+               invariant_error);
+  EXPECT_THROW(game_matrix({"A", ""}, {0.0, 0.0, 0.0, 0.0}),
+               invariant_error);
+  EXPECT_THROW(hawk_dove_matrix(2.0, 1.0), invariant_error);
+  EXPECT_THROW(stag_hunt_matrix(3.0, 4.0), invariant_error);
+}
+
+std::vector<std::shared_ptr<const update_rule>> all_rules() {
+  return {std::make_shared<imitate_if_better_rule>(),
+          std::make_shared<proportional_imitation_rule>(0.8),
+          std::make_shared<logit_response_rule>(0.5),
+          std::make_shared<igt_ladder_rule>(3)};
+}
+
+TEST(UpdateRules, RevisionsAreProbabilityDistributions) {
+  const auto igt = igt_game_matrix(3);
+  const auto games = {donation_matrix(), igt};
+  for (const auto& rule : all_rules()) {
+    for (const auto& game : games) {
+      if (rule->name() == "igt-ladder" && game.num_strategies() != 5) {
+        continue;  // the ladder is defined over the generosity-indexed set
+      }
+      for (std::size_t s = 0; s < game.num_strategies(); ++s) {
+        for (std::size_t p = 0; p < game.num_strategies(); ++p) {
+          const auto dist = rule->revise(game, s, p);
+          ASSERT_EQ(dist.size(), game.num_strategies());
+          double total = 0.0;
+          for (const double x : dist) {
+            EXPECT_GE(x, 0.0);
+            total += x;
+          }
+          EXPECT_NEAR(total, 1.0, 1e-12) << rule->name();
+        }
+      }
+    }
+  }
+}
+
+TEST(UpdateRules, ImitateIfBetterFollowsTheEncounterPayoffs) {
+  const auto m = donation_matrix();  // C vs D: the defector earns more
+  const imitate_if_better_rule rule;
+  EXPECT_DOUBLE_EQ(rule.revise(m, 0, 1)[1], 1.0);  // C adopts D
+  EXPECT_DOUBLE_EQ(rule.revise(m, 1, 0)[1], 1.0);  // D keeps D
+  EXPECT_DOUBLE_EQ(rule.revise(m, 0, 0)[0], 1.0);  // ties never switch
+}
+
+TEST(UpdateRules, ProportionalImitationScalesWithThePayoffGap) {
+  const auto m = donation_matrix(donation_game{2.0, 1.0});
+  // Span = b - (-c) = 3; C vs D gap = b - (-c) = 3 -> switch w.p. rate.
+  const proportional_imitation_rule rule(0.5);
+  EXPECT_NEAR(rule.revise(m, 0, 1)[1], 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(rule.revise(m, 1, 0)[1], 1.0);  // winners never switch
+}
+
+TEST(UpdateRules, LogitApproachesBestResponseAsTemperatureFalls) {
+  const auto m = stag_hunt_matrix(4.0, 3.0);
+  const logit_response_rule cold(0.05);
+  const logit_response_rule hot(100.0);
+  // Respond to a stag partner: stag is the best response.
+  EXPECT_GT(cold.revise(m, 1, 0)[0], 0.999);
+  // Near-infinite temperature: uniform.
+  EXPECT_NEAR(hot.revise(m, 1, 0)[0], 0.5, 0.01);
+}
+
+TEST(UpdateRules, LadderMatchesTheIgtEncoding) {
+  const std::size_t k = 4;
+  const auto m = igt_game_matrix(k);
+  const igt_ladder_rule rule(k);
+  for (std::size_t level = 0; level < k; ++level) {
+    const auto self = igt_encoding::gtft(level);
+    const auto up = rule.revise(m, self, igt_encoding::ac);
+    const auto down = rule.revise(m, self, igt_encoding::ad);
+    EXPECT_DOUBLE_EQ(
+        up[igt_encoding::gtft(std::min(level + 1, k - 1))], 1.0);
+    EXPECT_DOUBLE_EQ(
+        down[igt_encoding::gtft(level > 0 ? level - 1 : 0)], 1.0);
+  }
+  EXPECT_DOUBLE_EQ(rule.revise(m, igt_encoding::ac, igt_encoding::ad)
+                       [igt_encoding::ac],
+                   1.0);
+  EXPECT_THROW((void)rule.revise(donation_matrix(), 0, 1), invariant_error);
+}
+
+TEST(GameProtocol, CompiledKernelSatisfiesTheKernelContract) {
+  for (const auto discipline :
+       {revision_discipline::one_way, revision_discipline::two_way}) {
+    for (const auto& rule : all_rules()) {
+      const auto game = rule->name() == "igt-ladder"
+                            ? igt_game_matrix(3)
+                            : hawk_dove_matrix(1.0, 2.0);
+      const game_protocol proto(game, rule, discipline);
+      EXPECT_TRUE(proto.has_kernel());
+      EXPECT_EQ(proto.num_states(), game.num_strategies());
+      EXPECT_NO_THROW(kernel_table{proto});  // validates every pair
+    }
+  }
+}
+
+TEST(GameProtocol, OneWayNeverTouchesTheResponder) {
+  const game_protocol proto(rock_paper_scissors_matrix(),
+                            std::make_shared<logit_response_rule>(0.7));
+  for (agent_state i = 0; i < proto.num_states(); ++i) {
+    for (agent_state r = 0; r < proto.num_states(); ++r) {
+      for (const auto& o : proto.outcome_distribution(i, r)) {
+        EXPECT_EQ(o.responder, r);
+      }
+    }
+  }
+}
+
+TEST(GameProtocol, TwoWayKernelIsTheProductOfIndependentRevisions) {
+  const auto game = hawk_dove_matrix(1.0, 2.0);
+  const auto rule = std::make_shared<logit_response_rule>(0.4);
+  const game_protocol proto(game, rule, revision_discipline::two_way);
+  for (agent_state i = 0; i < 2; ++i) {
+    for (agent_state r = 0; r < 2; ++r) {
+      const auto mine = rule->revise(game, i, r);
+      const auto theirs = rule->revise(game, r, i);
+      for (const auto& o : proto.outcome_distribution(i, r)) {
+        EXPECT_NEAR(o.probability, mine[o.initiator] * theirs[o.responder],
+                    1e-12);
+      }
+    }
+  }
+}
+
+TEST(GameProtocol, InteractMatchesDefaultKernelSampling) {
+  // The cached-kernel interact must consume draws exactly like the default
+  // outcome_distribution sampler, so trajectories are independent of the
+  // caching optimization.
+  const game_protocol proto(hawk_dove_matrix(1.0, 2.0),
+                            std::make_shared<logit_response_rule>(0.4),
+                            revision_discipline::two_way);
+  // A shadow protocol exposing the same kernel through the default path.
+  class shadow final : public protocol {
+   public:
+    explicit shadow(const game_protocol& inner) : inner_(&inner) {}
+    [[nodiscard]] std::size_t num_states() const override {
+      return inner_->num_states();
+    }
+    [[nodiscard]] bool has_kernel() const override { return true; }
+    [[nodiscard]] std::vector<outcome> outcome_distribution(
+        agent_state i, agent_state r) const override {
+      return inner_->outcome_distribution(i, r);
+    }
+
+   private:
+    const game_protocol* inner_;
+  };
+  const shadow uncached(proto);
+  rng gen_a(11);
+  rng gen_b(11);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const auto i = static_cast<agent_state>(trial % 2);
+    const auto r = static_cast<agent_state>((trial / 2) % 2);
+    EXPECT_EQ(proto.interact(i, r, gen_a), uncached.interact(i, r, gen_b));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The shared engine-agreement suite: for every update rule, on two games
+// each, the agent, census, and batched engines must agree in distribution
+// at a fixed parallel time (two-sample chi-square on a census statistic).
+// ---------------------------------------------------------------------------
+
+struct engine_case {
+  std::string label;
+  std::shared_ptr<const update_rule> rule;
+  game_matrix game;
+  std::vector<std::uint64_t> initial_counts;
+};
+
+std::vector<engine_case> engine_cases() {
+  std::vector<engine_case> cases;
+  const auto donation = donation_matrix(donation_game{2.0, 1.0});
+  const auto hawk_dove = hawk_dove_matrix(1.0, 2.0);
+  const auto rps = rock_paper_scissors_matrix();
+  const std::vector<std::uint64_t> two_even = {75, 75};
+  const std::vector<std::uint64_t> three_tilted = {70, 50, 30};
+  cases.push_back({"imitate/donation",
+                   std::make_shared<imitate_if_better_rule>(), donation,
+                   two_even});
+  cases.push_back({"imitate/hawk-dove",
+                   std::make_shared<imitate_if_better_rule>(), hawk_dove,
+                   two_even});
+  cases.push_back({"proportional/donation",
+                   std::make_shared<proportional_imitation_rule>(0.8),
+                   donation, two_even});
+  cases.push_back({"proportional/rps",
+                   std::make_shared<proportional_imitation_rule>(0.8), rps,
+                   three_tilted});
+  cases.push_back({"logit/hawk-dove",
+                   std::make_shared<logit_response_rule>(0.5), hawk_dove,
+                   two_even});
+  cases.push_back({"logit/stag-hunt",
+                   std::make_shared<logit_response_rule>(0.5),
+                   stag_hunt_matrix(4.0, 3.0), two_even});
+  // Two distinct ladder games: different rung counts (and so different
+  // generosity grids and payoff matrices).
+  cases.push_back({"ladder/igt-k3", std::make_shared<igt_ladder_rule>(3),
+                   igt_game_matrix(3), {20, 40, 90, 0, 0}});
+  cases.push_back({"ladder/igt-k4", std::make_shared<igt_ladder_rule>(4),
+                   igt_game_matrix(4), {20, 40, 90, 0, 0, 0}});
+  return cases;
+}
+
+TEST(Engines, AllUpdateRulesAgreeAcrossEnginesAtFixedParallelTime) {
+  std::uint64_t master = 400;
+  for (const auto& c : engine_cases()) {
+    const game_protocol proto(c.game, c.rule);
+    const sim_spec spec(proto, c.initial_counts);
+    const std::uint64_t steps = 12 * spec.population_size();
+    // One scalar summary that weights every state differently, so a
+    // distribution shift in any coordinate moves it.
+    const auto statistic = [](const census_view& census) {
+      double mass = 0.0;
+      for (std::size_t s = 0; s < census.num_state_kinds(); ++s) {
+        mass += static_cast<double>(s + 1) *
+                static_cast<double>(census.count(
+                    static_cast<agent_state>(s)));
+      }
+      return mass;
+    };
+    constexpr std::size_t replicas = 200;
+    const auto agent = testing::replica_statistics(
+        spec, engine_kind::agent, replicas, steps, master++, statistic);
+    const auto census = testing::replica_statistics(
+        spec, engine_kind::census, replicas, steps, master++, statistic);
+    const auto batched = testing::replica_statistics(
+        spec, engine_kind::batched, replicas, steps, master++, statistic);
+    EXPECT_GT(testing::two_sample_p(agent, census, 8), 1e-4) << c.label;
+    EXPECT_GT(testing::two_sample_p(agent, batched, 8), 1e-4) << c.label;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Bitwise equivalence of the compiled igt_protocol with the legacy
+// hand-written Definition 2.1 transition function (the pre-refactor
+// implementation, frozen here verbatim as the reference).
+// ---------------------------------------------------------------------------
+
+class legacy_igt_protocol final : public protocol {
+ public:
+  explicit legacy_igt_protocol(std::size_t k, igt_discipline discipline)
+      : k_(k), discipline_(discipline) {}
+
+  [[nodiscard]] std::size_t num_states() const override { return 2 + k_; }
+  [[nodiscard]] bool has_kernel() const override { return true; }
+
+  [[nodiscard]] std::vector<outcome> outcome_distribution(
+      agent_state initiator, agent_state responder) const override {
+    const agent_state next_initiator = updated_level(initiator, responder);
+    const agent_state next_responder =
+        discipline_ == igt_discipline::two_way
+            ? updated_level(responder, initiator)
+            : responder;
+    return {{next_initiator, next_responder, 1.0}};
+  }
+
+  [[nodiscard]] std::pair<agent_state, agent_state> interact(
+      agent_state initiator, agent_state responder,
+      rng& /*gen*/) const override {
+    const agent_state next_initiator = updated_level(initiator, responder);
+    const agent_state next_responder =
+        discipline_ == igt_discipline::two_way
+            ? updated_level(responder, initiator)
+            : responder;
+    return {next_initiator, next_responder};
+  }
+
+ private:
+  [[nodiscard]] agent_state updated_level(agent_state self,
+                                          agent_state partner) const {
+    if (!igt_encoding::is_gtft(self)) {
+      return self;
+    }
+    const std::size_t level = igt_encoding::level(self);
+    if (partner == igt_encoding::ad) {
+      return igt_encoding::gtft(level > 0 ? level - 1 : 0);
+    }
+    return igt_encoding::gtft(level + 1 < k_ ? level + 1 : k_ - 1);
+  }
+
+  std::size_t k_;
+  igt_discipline discipline_;
+};
+
+TEST(IgtCompilation, BitwiseIdenticalToTheLegacyImplementation) {
+  const std::size_t k = 5;
+  for (const auto discipline :
+       {igt_discipline::one_way, igt_discipline::two_way}) {
+    const igt_protocol compiled(k, discipline);
+    const legacy_igt_protocol legacy(k, discipline);
+    // The kernels are pointwise identical...
+    for (agent_state i = 0; i < compiled.num_states(); ++i) {
+      for (agent_state r = 0; r < compiled.num_states(); ++r) {
+        const auto a = compiled.outcome_distribution(i, r);
+        const auto b = legacy.outcome_distribution(i, r);
+        ASSERT_EQ(a.size(), 1u);
+        ASSERT_EQ(b.size(), 1u);
+        EXPECT_EQ(a[0].initiator, b[0].initiator);
+        EXPECT_EQ(a[0].responder, b[0].responder);
+      }
+    }
+    // ...and shared-seed trajectories are bitwise equal on the agent and
+    // census engines (compared censuswise at every checkpoint).
+    const auto pop = abg_population::from_fractions(90, 0.2, 0.3, 0.5);
+    const sim_spec spec_compiled(
+        compiled, population(make_igt_population_states(pop, k, 1), 2 + k));
+    const sim_spec spec_legacy(
+        legacy, population(make_igt_population_states(pop, k, 1), 2 + k));
+    for (const auto kind : {engine_kind::agent, engine_kind::census}) {
+      rng gen_a(2024);
+      rng gen_b(2024);
+      const auto lhs = spec_compiled.make_engine(kind, gen_a);
+      const auto rhs = spec_legacy.make_engine(kind, gen_b);
+      for (int checkpoint = 0; checkpoint < 20; ++checkpoint) {
+        lhs->run(1000);
+        rhs->run(1000);
+        ASSERT_EQ(lhs->census().counts(), rhs->census().counts())
+            << engine_kind_name(kind) << " checkpoint " << checkpoint;
+      }
+    }
+  }
+}
+
+TEST(IgtCompilation, ExposesTheCompiledGameAndRule) {
+  const igt_protocol proto(4);
+  EXPECT_EQ(proto.game().num_strategies(), 6u);
+  EXPECT_EQ(proto.rule().name(), "igt-ladder");
+  EXPECT_EQ(proto.discipline(), igt_discipline::one_way);
+  EXPECT_EQ(proto.state_name(0), "AC");
+  EXPECT_EQ(proto.state_name(1), "AD");
+  EXPECT_EQ(proto.state_name(5), "g4");
+}
+
+}  // namespace
+}  // namespace ppg

@@ -13,6 +13,7 @@
 #include "ppg/core/igt_protocol.hpp"
 #include "ppg/core/theory.hpp"
 #include "ppg/ehrenfest/stationary.hpp"
+#include "ppg/pp/engine.hpp"
 #include "ppg/stats/chi_square.hpp"
 #include "ppg/stats/empirical.hpp"
 #include "ppg/stats/summary.hpp"

@@ -5,9 +5,9 @@
 #include <cmath>
 #include <set>
 
+#include "ppg/pp/engine.hpp"
 #include "ppg/pp/population.hpp"
 #include "ppg/pp/scheduler.hpp"
-#include "ppg/pp/simulator.hpp"
 #include "ppg/util/error.hpp"
 
 namespace ppg {

@@ -13,7 +13,7 @@
 #include "ppg/ehrenfest/stationary.hpp"
 #include "ppg/games/exact_payoff.hpp"
 #include "ppg/markov/stationary.hpp"
-#include "ppg/pp/simulator.hpp"
+#include "ppg/pp/engine.hpp"
 #include "ppg/pp/trace.hpp"
 #include "ppg/stats/empirical.hpp"
 #include "ppg/util/rng.hpp"

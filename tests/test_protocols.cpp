@@ -4,6 +4,7 @@
 
 #include <cmath>
 
+#include "ppg/pp/engine.hpp"
 #include "ppg/pp/protocols/approximate_majority.hpp"
 #include "ppg/pp/protocols/leader_election.hpp"
 #include "ppg/pp/protocols/rumor.hpp"

@@ -2,7 +2,7 @@
 // convergence. Under the smoothed (logit) best response to the sampled
 // partner, the mean-field ODE has a unique interior fixed point near the
 // game's mixed ESS (hawk fraction v/c); the scenario relaxes the ODE from
-// both corners, then checks that all three engines' time-averaged censuses
+// both corners, then checks that all four engines' time-averaged censuses
 // converge to the same point from opposite initial conditions.
 #include <cmath>
 #include <cstdint>
@@ -57,7 +57,8 @@ scenario_result run_g2(const scenario_context& ctx) {
     const sim_spec spec(proto,
                         std::vector<std::uint64_t>{hawks, n - hawks});
     for (const auto kind :
-         {engine_kind::agent, engine_kind::census, engine_kind::batched}) {
+         {engine_kind::agent, engine_kind::census, engine_kind::batched,
+          engine_kind::multibatch}) {
       rng gen = ctx.make_rng(salt++);
       const auto engine = spec.make_engine(kind, gen);
       engine->run(

@@ -3,13 +3,14 @@
 // rates land in the same JSON trajectory as every other experiment).
 //
 //  - throughput_engines: interactions per second of the pluggable
-//    simulation engines (agent / census / batched, selected via
-//    sim_spec::make_engine) on the one-way IGT kernel, dense and dilute.
-//    The census engine's per-interaction cost is O(q) and independent of n
-//    (it is the only engine that reaches n = 10^8), and the batched engine
-//    additionally skips runs of identity interactions in one geometric
-//    draw — in the dilute regime it executes far less than one sampling
-//    operation per interaction.
+//    simulation engines (agent / census / batched / multibatch, selected
+//    via sim_spec::make_engine) on the one-way IGT kernel (dense and
+//    dilute) and on dense matrix games (hawk-dove, rock-paper-scissors).
+//    The census engine's per-interaction cost is O(q) and independent of
+//    n, the batched engine skips runs of identity interactions in one
+//    geometric draw (huge in the dilute regime, inert on dense games), and
+//    the multibatch engine advances in aggregated ~sqrt(n)-interaction
+//    rounds, so it is the engine that stays sublinear on dense kernels.
 //  - throughput_batch: aggregate throughput and thread scaling of the
 //    batch-replication engine, plus the bit-identical-aggregates
 //    determinism check across thread counts.
@@ -32,7 +33,10 @@
 #include "ppg/exp/scenario.hpp"
 #include "ppg/games/closed_form.hpp"
 #include "ppg/games/exact_payoff.hpp"
+#include "ppg/games/game_protocol.hpp"
 #include "ppg/games/rollout.hpp"
+#include "ppg/games/update_rule.hpp"
+#include "ppg/pp/engine.hpp"
 #include "ppg/util/table.hpp"
 #include "ppg/util/timer.hpp"
 
@@ -76,18 +80,6 @@ sim_spec igt_spec(const igt_protocol& proto, std::uint64_t n, double alpha,
   return sim_spec(proto, std::move(counts));
 }
 
-const char* engine_name(engine_kind kind) {
-  switch (kind) {
-    case engine_kind::agent:
-      return "agent";
-    case engine_kind::census:
-      return "census";
-    case engine_kind::batched:
-      return "batched";
-  }
-  return "?";
-}
-
 scenario_result run_engines(const scenario_context& ctx) {
   scenario_result result;
   const double min_seconds = ctx.pick(0.5, 0.08);
@@ -111,11 +103,16 @@ scenario_result run_engines(const scenario_context& ctx) {
       {engine_kind::batched, 10'000, false, false},
       {engine_kind::batched, 1'000'000, false, false},
       {engine_kind::batched, 100'000'000, false, true},
+      {engine_kind::multibatch, 10'000, false, false},
+      {engine_kind::multibatch, 1'000'000, false, false},
+      {engine_kind::multibatch, 100'000'000, false, true},
       {engine_kind::agent, 1'000'000, true, false},
       {engine_kind::census, 1'000'000, true, false},
       {engine_kind::census, 100'000'000, true, true},
       {engine_kind::batched, 1'000'000, true, false},
       {engine_kind::batched, 100'000'000, true, true},
+      {engine_kind::multibatch, 1'000'000, true, false},
+      {engine_kind::multibatch, 100'000'000, true, true},
   };
 
   auto& table = result.table(
@@ -139,7 +136,7 @@ scenario_result run_engines(const scenario_context& ctx) {
         [&] { engine->run(chunk); }, static_cast<double>(chunk), min_seconds);
     const std::string key = std::string("ips_") +
                             (row.dilute ? "dilute_" : "dense_") +
-                            engine_name(row.kind) + "_n" +
+                            engine_kind_name(row.kind) + "_n" +
                             std::to_string(row.n);
     result.metric(key, ips);
     if (row.n == 1'000'000) {
@@ -156,15 +153,71 @@ scenario_result run_engines(const scenario_context& ctx) {
         ips_dilute_batched_1e6 = ips;
       }
     }
-    table.add_row({engine_name(row.kind),
+    table.add_row({engine_kind_name(row.kind),
                    fmt_count(row.n), row.dilute ? "dilute" : "dense",
                    format_metric(ips, 4)});
+  }
+
+  // Dense matrix games: the workload where nearly every interaction moves
+  // the census, so the batched engine's identity skipping buys nothing and
+  // only the multibatch engine's aggregated rounds stay sublinear.
+  const auto hawk_dove = hawk_dove_matrix(1.0, 2.0);
+  const auto rps = rock_paper_scissors_matrix();
+  const game_protocol hd_proto(hawk_dove,
+                               std::make_shared<logit_response_rule>(0.5));
+  const game_protocol rps_proto(
+      rps, std::make_shared<proportional_imitation_rule>(0.8));
+  result.param("hawk_dove", "v=1 c=2, logit tau=0.5");
+  result.param("rps", "proportional imitation rate=0.8");
+  struct game_row {
+    const char* game;  ///< table label
+    const char* key;   ///< metric-key fragment (doubles as the rng salt)
+    const game_protocol* proto;
+    engine_kind kind;
+    std::uint64_t n;
+    bool full_only;
+  };
+  std::vector<game_row> game_rows;
+  for (const auto n : {std::uint64_t{1'000'000}, std::uint64_t{100'000'000}}) {
+    const bool full_only = n == 100'000'000;
+    for (const auto kind :
+         {engine_kind::agent, engine_kind::census, engine_kind::batched,
+          engine_kind::multibatch}) {
+      if (full_only && kind == engine_kind::agent) continue;  // 400 MB array
+      game_rows.push_back({"hawk-dove", "hawk_dove", &hd_proto, kind, n,
+                           full_only});
+      game_rows.push_back({"rps", "rps", &rps_proto, kind, n, full_only});
+    }
+  }
+  auto& games_table = result.table(
+      "interactions/second on dense games (every interaction samples a "
+      "randomized\nkernel outcome)",
+      {"game", "engine", "n", "interactions/s"});
+  for (const auto& row : game_rows) {
+    if (row.full_only && ctx.smoke) continue;
+    const std::size_t q = row.proto->num_states();
+    std::vector<std::uint64_t> counts(q, row.n / q);
+    counts.back() += row.n - (row.n / q) * q;
+    const sim_spec spec(*row.proto, std::move(counts));
+    rng gen = ctx.make_rng(row.n + static_cast<std::uint64_t>(row.kind) * 7 +
+                           static_cast<std::uint64_t>(row.key[0]));
+    const auto engine = spec.make_engine(row.kind, gen);
+    constexpr std::uint64_t chunk = 8192;
+    const double ips = measure_rate(
+        [&] { engine->run(chunk); }, static_cast<double>(chunk), min_seconds);
+    result.metric("ips_" + std::string(row.key) + "_" +
+                      engine_kind_name(row.kind) + "_n" +
+                      std::to_string(row.n),
+                  ips);
+    games_table.add_row({row.game, engine_kind_name(row.kind),
+                         fmt_count(row.n), format_metric(ips, 4)});
   }
 
   // Cross-engine ratios land in the trajectory but carry no regression
   // goal: they depend on the host's cache hierarchy (the agent engine is
   // n-sensitive, the others are not), so a baseline from one machine would
-  // gate CI runs on another.
+  // gate CI runs on another. The seed-deterministic multibatch speedup
+  // gate lives in g4_multibatch_dense.
   result.metric("speedup_batched_vs_agent_dense_n1e6",
                 ips_dense_batched_1e6 / ips_dense_agent_1e6);
   result.metric("speedup_batched_vs_agent_dilute_n1e6",
@@ -172,7 +225,9 @@ scenario_result run_engines(const scenario_context& ctx) {
   result.note(
       "Expected shape: census rates independent of n; batched >> agent, "
       "most extreme\nin the dilute regime where identity interactions are "
-      "skipped in geometric\nbatches.");
+      "skipped in geometric\nbatches; multibatch >> batched on the dense "
+      "games, where no interaction is\nan identity and only aggregated "
+      "rounds avoid per-interaction sampling.");
   return result;
 }
 
@@ -335,7 +390,8 @@ scenario_result run_micro(const scenario_context& ctx) {
 
 [[maybe_unused]] const bool registered_engines = register_scenario(
     "throughput_engines", "throughput,engines,perf",
-    "Interactions/s of the agent/census/batched engines on the IGT kernel",
+    "Interactions/s of the agent/census/batched/multibatch engines on the "
+    "IGT kernel and dense games",
     run_engines);
 
 [[maybe_unused]] const bool registered_batch = register_scenario(

@@ -2,7 +2,7 @@
 // classic dynamics — approximate majority, leader election, and rumor
 // spreading — with their textbook convergence behavior. Each block picks a
 // different execution backend through sim_spec::make_engine (census,
-// agent, batched); all three engines implement the same interaction law,
+// agent, batched, multibatch); all engines implement the same interaction law,
 // so the choice is purely a speed/memory trade-off (see DESIGN.md §3).
 #include <cmath>
 #include <cstddef>

@@ -1,5 +1,6 @@
 #include "ppg/ehrenfest/stationary.hpp"
 
+#include "ppg/stats/discrete_sampling.hpp"
 #include "ppg/stats/distributions.hpp"
 #include "ppg/util/error.hpp"
 

@@ -24,6 +24,7 @@ batched_engine::batched_engine(const protocol& proto,
   PPG_CHECK(n_ <= 3'000'000'000ull, "batched engine caps n at 3e9");
   const std::size_t q = kernel_.num_states();
   responder_in_row_.assign(q * q, 0);
+  is_active_row_.assign(q, 0);
   rows_with_responder_.assign(q, {});
   row_responder_sum_.assign(q, 0);
   for (agent_state u = 0; u < q; ++u) {
@@ -35,7 +36,13 @@ batched_engine::batched_engine(const protocol& proto,
       rows_with_responder_[v].push_back(u);
       row_responder_sum_[u] += counts_[v];
     }
-    if (row_active) active_rows_.push_back(u);
+    if (row_active) {
+      active_rows_.push_back(u);
+      is_active_row_[u] = 1;
+    }
+  }
+  for (const auto u : active_rows_) {
+    active_weight_ += row_weight(u);
   }
 }
 
@@ -45,21 +52,31 @@ std::uint64_t batched_engine::row_weight(std::size_t row) const {
   return counts_[row] * (row_responder_sum_[row] - self);
 }
 
-std::uint64_t batched_engine::active_weight() const {
-  std::uint64_t active = 0;
-  for (const auto u : active_rows_) {
-    active += row_weight(u);
-  }
-  return active;
-}
-
 void batched_engine::add_count(agent_state state, std::int64_t delta) {
+  // Single-pass incremental update of the total weight: expanding the row
+  // products c_u * (R_u - s_u) around the count change gives
+  //   d(active) = delta * [ (R_state - s_state)           (row rescales)
+  //                       + sum_{u : state in S_u} c_u ]  (R_u shifts)
+  // where the first term reads R_state *before* its own shift and the sum
+  // reads c_u *after* the count update (so the u == state cross term uses
+  // the new count). One extra accumulate inside the loop the responder
+  // sums already needed, one multiply at the end — no per-batch re-sum
+  // over active_rows_.
+  const std::size_t q = kernel_.num_states();
+  std::int64_t scaled = 0;
+  if (is_active_row_[state] != 0) {
+    scaled = static_cast<std::int64_t>(row_responder_sum_[state] -
+                                       responder_in_row_[state * q + state]);
+  }
   counts_[state] = static_cast<std::uint64_t>(
       static_cast<std::int64_t>(counts_[state]) + delta);
   for (const auto u : rows_with_responder_[state]) {
     row_responder_sum_[u] = static_cast<std::uint64_t>(
         static_cast<std::int64_t>(row_responder_sum_[u]) + delta);
+    scaled += static_cast<std::int64_t>(counts_[u]);
   }
+  active_weight_ = static_cast<std::uint64_t>(
+      static_cast<std::int64_t>(active_weight_) + delta * scaled);
 }
 
 void batched_engine::apply_active(std::uint64_t active) {
@@ -99,7 +116,8 @@ void batched_engine::apply_active(std::uint64_t active) {
 void batched_engine::step() { run(1); }
 
 std::uint64_t batched_engine::advance_batch(std::uint64_t budget) {
-  const std::uint64_t active = active_weight();
+  ++batches_;
+  const std::uint64_t active = active_weight_;
   if (active == 0) {
     // Every reachable interaction is an identity: the census is frozen, so
     // the whole budget elapses without a change.

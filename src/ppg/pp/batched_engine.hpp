@@ -13,8 +13,10 @@
 // Non-identity mass is tracked in row-collapsed form: for each initiator
 // state u, S_u is the (static, kernel-derived) set of responder states v
 // with a non-identity pair (u, v), and R_u = sum of counts over S_u is
-// maintained incrementally as counts change, so recomputing the total
-// non-identity weight is O(q) per census change rather than O(q^2).
+// maintained incrementally as counts change; the total non-identity weight
+// is itself maintained by the same add_count pass (a single delta
+// expansion of the row products), so a batch costs O(1) beyond the four
+// count updates of its census change.
 #pragma once
 
 #include <cstdint>
@@ -47,14 +49,15 @@ class batched_engine final : public sim_engine {
     return engine_kind::batched;
   }
 
+  /// Number of batches advanced so far: one geometric draw (plus at most
+  /// one non-identity interaction) each. The engine's seed-deterministic
+  /// work metric — on dense kernels it approaches interactions().
+  [[nodiscard]] std::uint64_t batches() const { return batches_; }
+
  private:
   /// Number of ordered agent pairs realizing initiator row u: the weight of
   /// row u is c_u * (R_u - [u in S_u]).
   [[nodiscard]] std::uint64_t row_weight(std::size_t row) const;
-
-  /// Total weight of non-identity pairs; the next census change is
-  /// interaction Geometric(active / (n(n-1))) + 1 from now.
-  [[nodiscard]] std::uint64_t active_weight() const;
 
   /// Samples and applies one non-identity interaction (conditional on the
   /// current step being one); `active` is the precomputed active_weight().
@@ -66,7 +69,8 @@ class batched_engine final : public sim_engine {
   /// census (no non-identity mass) consumes the whole budget.
   [[nodiscard]] std::uint64_t advance_batch(std::uint64_t budget);
 
-  /// Count update that maintains the row responder sums R_u.
+  /// Count update that maintains the row responder sums R_u and the total
+  /// non-identity weight active_weight_.
   void add_count(agent_state state, std::int64_t delta);
 
   kernel_table kernel_;
@@ -74,14 +78,21 @@ class batched_engine final : public sim_engine {
   std::uint64_t n_;
   rng gen_;
   std::uint64_t interactions_ = 0;
+  std::uint64_t batches_ = 0;
   /// Initiator states with at least one non-identity pair.
   std::vector<agent_state> active_rows_;
   /// q*q flags: responder_in_row_[u*q + v] iff (u, v) is non-identity.
   std::vector<std::uint8_t> responder_in_row_;
+  /// Flags active initiator rows (the states listed in active_rows_).
+  std::vector<std::uint8_t> is_active_row_;
   /// For each state w, the initiator rows u with w in S_u.
   std::vector<std::vector<agent_state>> rows_with_responder_;
   /// R_u = sum of counts over S_u, maintained incrementally.
   std::vector<std::uint64_t> row_responder_sum_;
+  /// Total weight of non-identity pairs, maintained incrementally by
+  /// add_count; the next census change is interaction
+  /// Geometric(active_weight_ / (n(n-1))) + 1 from now.
+  std::uint64_t active_weight_ = 0;
 };
 
 }  // namespace ppg

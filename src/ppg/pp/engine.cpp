@@ -5,6 +5,7 @@
 
 #include "ppg/pp/batched_engine.hpp"
 #include "ppg/pp/census_engine.hpp"
+#include "ppg/pp/multibatch_engine.hpp"
 #include "ppg/util/error.hpp"
 
 namespace ppg {
@@ -17,6 +18,8 @@ const char* engine_kind_name(engine_kind kind) {
       return "census";
     case engine_kind::batched:
       return "batched";
+    case engine_kind::multibatch:
+      return "multibatch";
   }
   return "unknown";
 }
@@ -179,6 +182,9 @@ std::unique_ptr<sim_engine> sim_spec::make_engine(engine_kind kind,
     case engine_kind::batched:
       return std::make_unique<batched_engine>(*proto_, initial_counts_,
                                               gen.split(), sampling_);
+    case engine_kind::multibatch:
+      return std::make_unique<multibatch_engine>(*proto_, initial_counts_,
+                                                 gen.split(), sampling_);
   }
   PPG_CHECK(false, "unknown engine kind");
 }

@@ -24,6 +24,10 @@ enum class engine_kind : std::uint8_t {
   agent,    ///< per-agent state array, one protocol::interact per step
   census,   ///< count vector only; samples the ordered *state* pair in O(q)
   batched,  ///< census + geometric batches that skip identity interactions
+  /// census + aggregated ~sqrt(n)-interaction rounds (exact birthday /
+  /// hypergeometric / multinomial law); o(1) work per interaction even on
+  /// dense kernels.
+  multibatch,
 };
 
 [[nodiscard]] const char* engine_kind_name(engine_kind kind);

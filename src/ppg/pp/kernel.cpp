@@ -66,6 +66,16 @@ kernel_table::kernel_table(const protocol& proto) : q_(proto.num_states()) {
   }
 }
 
+outcome kernel_table::outcome_at(agent_state initiator, agent_state responder,
+                                 std::size_t k) const {
+  const std::size_t pair = index(initiator, responder);
+  const std::uint32_t begin = offsets_[pair];
+  PPG_CHECK(begin + k < offsets_[pair + 1], "outcome index out of range");
+  const entry& o = entries_[begin + k];
+  const double previous = k == 0 ? 0.0 : entries_[begin + k - 1].cumulative;
+  return {o.initiator, o.responder, o.cumulative - previous};
+}
+
 bool kernel_table::deterministic(agent_state initiator,
                                  agent_state responder) const {
   const std::size_t pair = index(initiator, responder);

@@ -101,6 +101,20 @@ class kernel_table {
   [[nodiscard]] std::pair<agent_state, agent_state> sample(
       agent_state initiator, agent_state responder, rng& gen) const;
 
+  /// Number of support points of the pair's distribution.
+  [[nodiscard]] std::size_t num_outcomes(agent_state initiator,
+                                         agent_state responder) const {
+    const std::size_t pair = index(initiator, responder);
+    return offsets_[pair + 1] - offsets_[pair];
+  }
+
+  /// The `k`-th support point of the pair's distribution, with its
+  /// (non-cumulative) probability — the enumeration the multibatch engine
+  /// draws its per-pair multinomial outcome splits over.
+  [[nodiscard]] outcome outcome_at(agent_state initiator,
+                                   agent_state responder,
+                                   std::size_t k) const;
+
  private:
   struct entry {
     agent_state initiator = 0;

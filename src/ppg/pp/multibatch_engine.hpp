@@ -1,0 +1,127 @@
+// The multibatch engine: census-level execution that advances the chain in
+// aggregated rounds of ~Theta(sqrt(n)) interactions instead of one at a
+// time, with o(1) sampling work per interaction even on *dense* kernels —
+// where nearly every interaction changes the census and the batched
+// engine's identity-skipping degenerates to one O(q) sampling round per
+// interaction.
+//
+// A round is the run of interactions up to and including the first "agent
+// collision". Agents drawn in the current round are *touched*; while every
+// interaction involves only untouched agents, the drawn pairs are disjoint,
+// so their census effect is exchangeable and can be applied in aggregate:
+//
+//  1. the number of collision-free interactions J before the first
+//     interaction re-using a touched agent follows the exact birthday law
+//     P(J > j) = prod_{i<j} (n-2i)(n-2i-1) / (n(n-1)), drawn by inversion
+//     (binary search over the lgamma form of the survival function);
+//  2. the q x q table of ordered state-pair counts of those J interactions
+//     is drawn from multivariate hypergeometrics over the untouched census
+//     (initiator sample, then responder sample, then a uniform matching by
+//     initiator group — exactly the law of 2J distinct agents drawn
+//     uniformly without replacement, paired in order);
+//  3. the outcome split of each pair type is a multinomial over the
+//     kernel's outcome distribution (deterministic pairs consume no draws);
+//  4. the one colliding interaction is resolved sequentially — its pair is
+//     uniform over ordered agent pairs with at least one touched agent —
+//     after which touched agents rejoin the untouched pool and a new round
+//     begins.
+//
+// Every step is an exact decomposition of the sequential scheduler's law,
+// so the census at any run() boundary is distribution-identical to the
+// agent/census/batched engines (DESIGN.md §8 gives the argument). Work per
+// round is O(q^2 + log n) plus O(q) for the collision, i.e.
+// O((q^2 + log n)/sqrt(n)) per interaction. Rounds shrink with n (the
+// birthday law adapts by itself), and sub-q^2 rounds take a sequential
+// per-pair path, so small populations degrade gracefully to exactly the
+// census engine's per-interaction cost.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ppg/pp/engine.hpp"
+#include "ppg/pp/kernel.hpp"
+
+namespace ppg {
+
+class multibatch_engine final : public sim_engine {
+ public:
+  /// Same contract as the batched engine: a kernel-bearing protocol,
+  /// pair_sampling::distinct only, and n capped at ~3e9 so pair weights
+  /// c_u * c_v fit in 64 bits.
+  multibatch_engine(const protocol& proto,
+                    std::vector<std::uint64_t> initial_counts, rng gen,
+                    pair_sampling sampling = pair_sampling::distinct);
+
+  void step() override;
+  void run(std::uint64_t steps) override;
+
+  /// Predicate semantics are per-interaction on every engine, and a round
+  /// changes the census mid-aggregate, so run_until steps one interaction
+  /// at a time (the base-class loop). Prefer run() with periodic
+  /// census checks when aggregation throughput matters.
+  using sim_engine::run_until;
+
+  [[nodiscard]] census_view census() const override { return {counts_, n_}; }
+  [[nodiscard]] std::uint64_t interactions() const override {
+    return interactions_;
+  }
+  [[nodiscard]] engine_kind kind() const override {
+    return engine_kind::multibatch;
+  }
+
+  /// Aggregated rounds started and collisions resolved so far: the engine's
+  /// seed-deterministic work metric. interactions() / (rounds() +
+  /// collisions()) is the aggregation factor — ~sqrt(n) on any kernel.
+  [[nodiscard]] std::uint64_t rounds() const { return rounds_; }
+  [[nodiscard]] std::uint64_t collisions() const { return collisions_; }
+
+ private:
+  /// Draws the number of collision-free interactions before the next
+  /// collision when all n agents are untouched (the exact birthday law).
+  [[nodiscard]] std::uint64_t sample_collision_free_run();
+
+  /// Applies `free` collision-free interactions in one aggregate (the MVH
+  /// pair table + multinomial outcome splits), moving 2*free agents from
+  /// the untouched pool to the touched pool.
+  void apply_free_aggregate(std::uint64_t free);
+
+  /// Applies `free` collision-free interactions one pair at a time (the
+  /// census engine's law restricted to untouched agents); cheaper than the
+  /// aggregate path for short runs.
+  void apply_free_sequential(std::uint64_t free);
+
+  /// Applies `m` interactions of the ordered state pair (u, v): splits the
+  /// outcomes multinomially and updates the census and the touched pool.
+  void apply_pair_type(agent_state u, agent_state v, std::uint64_t m);
+
+  /// Resolves the round-ending colliding interaction: an ordered agent pair
+  /// with at least one touched agent, sampled by category weights
+  /// {touched-touched, touched-untouched, untouched-touched}.
+  void resolve_collision();
+
+  /// Returns all touched agents to the untouched pool (end of round).
+  void merge_touched();
+
+  kernel_table kernel_;
+  std::vector<std::uint64_t> counts_;     ///< current census
+  std::vector<std::uint64_t> untouched_;  ///< untouched agents by state
+  std::vector<std::uint64_t> touched_;    ///< touched agents by current state
+  std::uint64_t untouched_total_ = 0;
+  std::uint64_t n_;
+  rng gen_;
+  std::uint64_t interactions_ = 0;
+  std::uint64_t rounds_ = 0;
+  std::uint64_t collisions_ = 0;
+  /// Collision-free interactions of the current round not yet applied; when
+  /// it reaches 0 with collision_pending_, the next interaction collides.
+  std::uint64_t pending_free_ = 0;
+  bool collision_pending_ = false;
+  /// Runs shorter than this take the sequential path: below it the O(q^2)
+  /// aggregate tables cost more than per-pair sampling.
+  std::uint64_t aggregate_threshold_;
+  double log_ordered_pairs_;  ///< log(n(n-1)), cached for the birthday law
+  std::vector<double> outcome_probs_;  ///< scratch for multinomial splits
+};
+
+}  // namespace ppg

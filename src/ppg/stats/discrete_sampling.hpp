@@ -1,0 +1,56 @@
+// Exact samplers for the discrete distributions the engines aggregate with:
+// binomial, hypergeometric, multivariate hypergeometric, multinomial, and
+// categorical draws, all built on the deterministic ppg::rng. Closed-form
+// PMFs live in stats/distributions.hpp; this layer is the sampling side.
+//
+// Every sampler is exact in law (up to double rounding of the PMF
+// recurrences) over its whole parameter range, and numerically robust at the
+// population sizes the multibatch engine needs (n up to ~3e9, draws up to
+// ~n): small expected counts use geometric-skip or sequential inversion,
+// large ones switch to inversion from the mode, whose expected cost is
+// O(standard deviation) rather than O(mean). See DESIGN.md §8.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ppg/util/rng.hpp"
+
+namespace ppg {
+
+/// Draws from Binomial(n, p). Exact for every n: small n*min(p,1-p) counts
+/// successes by geometric skips (expected O(n*p + 1) work), larger regimes
+/// invert the CDF outward from the mode (expected O(sqrt(n*p*(1-p))) work),
+/// so huge-n draws never walk the whole support.
+[[nodiscard]] std::uint64_t sample_binomial(std::uint64_t n, double p,
+                                            rng& gen);
+
+/// Draws the number of marked items in a uniform sample of `draws` items,
+/// without replacement, from a population of `total` items of which `marked`
+/// are marked (Hypergeometric(total, marked, draws)). Requires
+/// marked <= total and draws <= total. Inversion from the mode after
+/// reducing by the marked/unmarked and sampled/unsampled symmetries.
+[[nodiscard]] std::uint64_t sample_hypergeometric(std::uint64_t total,
+                                                  std::uint64_t marked,
+                                                  std::uint64_t draws,
+                                                  rng& gen);
+
+/// Draws the per-category counts of a uniform sample of `draws` items,
+/// without replacement, from a population with `counts[i]` items of category
+/// i (multivariate hypergeometric), by sequential conditional univariate
+/// hypergeometric draws. Requires draws <= sum(counts).
+[[nodiscard]] std::vector<std::uint64_t> sample_multivariate_hypergeometric(
+    const std::vector<std::uint64_t>& counts, std::uint64_t draws, rng& gen);
+
+/// Draws a sample count vector from Multinomial(m, probs) by sequential
+/// conditional binomials (probs must be non-negative and sum to 1 up to
+/// rounding; the last category absorbs the remainder).
+[[nodiscard]] std::vector<std::uint64_t> sample_multinomial(
+    std::uint64_t m, const std::vector<double>& probs, rng& gen);
+
+/// Draws an index from a finite categorical distribution (probs need not be
+/// normalized; they must be non-negative with a positive sum).
+[[nodiscard]] std::size_t sample_categorical(const std::vector<double>& probs,
+                                             rng& gen);
+
+}  // namespace ppg

@@ -58,60 +58,34 @@ std::vector<double> multinomial_mean(std::uint64_t m,
   return mean;
 }
 
-std::uint64_t sample_binomial(std::uint64_t n, double p, rng& gen) {
-  PPG_CHECK(p >= 0.0 && p <= 1.0, "sample_binomial requires p in [0, 1]");
-  if (p == 0.0 || n == 0) return 0;
-  if (p == 1.0) return n;
-  // Work with q = min(p, 1-p) and count by geometric skips: the number of
-  // Bernoulli(q) trials between successes is geometric, so the expected work
-  // is O(n*q + 1) rather than O(n).
-  const bool flipped = p > 0.5;
-  const double q = flipped ? 1.0 - p : p;
-  std::uint64_t successes = 0;
-  std::uint64_t position = 0;
-  while (true) {
-    position += gen.next_geometric(q) + 1;
-    if (position > n) break;
-    ++successes;
-  }
-  return flipped ? n - successes : successes;
+double hypergeometric_pmf(std::uint64_t total, std::uint64_t marked,
+                          std::uint64_t draws, std::uint64_t x) {
+  PPG_CHECK(marked <= total && draws <= total,
+            "hypergeometric_pmf requires marked <= total, draws <= total");
+  if (x > draws || x > marked) return 0.0;
+  if (draws - x > total - marked) return 0.0;
+  const double log_pmf = log_binomial_coefficient(marked, x) +
+                         log_binomial_coefficient(total - marked, draws - x) -
+                         log_binomial_coefficient(total, draws);
+  return std::exp(log_pmf);
 }
 
-std::vector<std::uint64_t> sample_multinomial(std::uint64_t m,
-                                              const std::vector<double>& probs,
-                                              rng& gen) {
-  PPG_CHECK(!probs.empty(), "sample_multinomial needs a non-empty support");
-  std::vector<std::uint64_t> counts(probs.size(), 0);
-  double remaining_prob = 1.0;
-  std::uint64_t remaining = m;
-  for (std::size_t i = 0; i + 1 < probs.size() && remaining > 0; ++i) {
-    const double conditional =
-        remaining_prob <= 0.0 ? 0.0 : probs[i] / remaining_prob;
-    const std::uint64_t draw =
-        sample_binomial(remaining, std::min(1.0, std::max(0.0, conditional)),
-                        gen);
-    counts[i] = draw;
-    remaining -= draw;
-    remaining_prob -= probs[i];
+double multivariate_hypergeometric_pmf(
+    const std::vector<std::uint64_t>& counts,
+    const std::vector<std::uint64_t>& x) {
+  PPG_CHECK(counts.size() == x.size(),
+            "multivariate_hypergeometric_pmf: census/counts size mismatch");
+  std::uint64_t total = 0;
+  std::uint64_t draws = 0;
+  double log_pmf = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (x[i] > counts[i]) return 0.0;
+    total += counts[i];
+    draws += x[i];
+    log_pmf += log_binomial_coefficient(counts[i], x[i]);
   }
-  counts.back() += remaining;
-  return counts;
-}
-
-std::size_t sample_categorical(const std::vector<double>& probs, rng& gen) {
-  PPG_CHECK(!probs.empty(), "sample_categorical needs a non-empty support");
-  double total = 0.0;
-  for (const double p : probs) {
-    PPG_CHECK(p >= 0.0, "categorical weights must be non-negative");
-    total += p;
-  }
-  PPG_CHECK(total > 0.0, "categorical weights must have positive sum");
-  double u = gen.next_double() * total;
-  for (std::size_t i = 0; i < probs.size(); ++i) {
-    u -= probs[i];
-    if (u < 0.0) return i;
-  }
-  return probs.size() - 1;  // guard against accumulated rounding
+  log_pmf -= log_binomial_coefficient(total, draws);
+  return std::exp(log_pmf);
 }
 
 std::vector<double> geometric_weights(std::size_t k, double lambda) {

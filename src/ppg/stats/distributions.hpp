@@ -1,11 +1,11 @@
-// Closed-form discrete distributions used throughout the paper: binomial and
-// multinomial PMFs (Theorem 2.4's stationary laws), plus samplers.
+// Closed-form discrete distributions used throughout the paper: binomial,
+// multinomial, and hypergeometric PMFs (Theorem 2.4's stationary laws and
+// the multibatch engine's aggregation laws). The matching samplers live in
+// stats/discrete_sampling.hpp.
 #pragma once
 
 #include <cstdint>
 #include <vector>
-
-#include "ppg/util/rng.hpp"
 
 namespace ppg {
 
@@ -30,20 +30,19 @@ namespace ppg {
 [[nodiscard]] std::vector<double> multinomial_mean(
     std::uint64_t m, const std::vector<double>& probs);
 
-/// Draws a sample count vector from Multinomial(m, probs) by sequential
-/// conditional binomials.
-[[nodiscard]] std::vector<std::uint64_t> sample_multinomial(
-    std::uint64_t m, const std::vector<double>& probs, rng& gen);
+/// Hypergeometric(total, marked, draws) PMF at x: the probability that a
+/// uniform sample of `draws` items, without replacement, from `total` items
+/// of which `marked` are marked contains exactly x marked items.
+[[nodiscard]] double hypergeometric_pmf(std::uint64_t total,
+                                        std::uint64_t marked,
+                                        std::uint64_t draws, std::uint64_t x);
 
-/// Draws from Binomial(n, p) (inversion for small n*p, otherwise sum of
-/// Bernoullis; n in our use cases is at most a few thousand).
-[[nodiscard]] std::uint64_t sample_binomial(std::uint64_t n, double p,
-                                            rng& gen);
-
-/// Draws an index from a finite categorical distribution (probs need not be
-/// normalized; they must be non-negative with a positive sum).
-[[nodiscard]] std::size_t sample_categorical(const std::vector<double>& probs,
-                                             rng& gen);
+/// Multivariate hypergeometric PMF: the probability that a uniform sample of
+/// sum(x) items, without replacement, from a population with `counts[i]`
+/// items of category i contains exactly x[i] of each category.
+[[nodiscard]] double multivariate_hypergeometric_pmf(
+    const std::vector<std::uint64_t>& counts,
+    const std::vector<std::uint64_t>& x);
 
 /// The geometric-weight distribution p_j ∝ lambda^{j-1} on {1, ..., k}
 /// (0-indexed vector of length k). This is the per-coordinate marginal of the

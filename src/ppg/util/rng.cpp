@@ -83,10 +83,19 @@ bool rng::next_bernoulli(double p) {
 std::uint64_t rng::next_geometric(double p) {
   PPG_CHECK(p > 0.0 && p <= 1.0, "next_geometric requires p in (0, 1]");
   if (p == 1.0) return 0;
-  // Inversion: floor(log(U) / log(1-p)) for U uniform on (0, 1).
+  // Inversion: floor(log(U) / log1p(-p)) for U uniform on (0, 1). log1p
+  // keeps the denominator accurate for p near 0, where log(1-p) would lose
+  // all precision to cancellation.
   double u = next_double();
   while (u <= 0.0) u = next_double();
-  return static_cast<std::uint64_t>(std::floor(std::log(u) / std::log1p(-p)));
+  const double skips = std::floor(std::log(u) / std::log1p(-p));
+  // For tiny p the inversion can exceed the 64-bit range (p = 1e-300 gives
+  // skips ~ 1e302); the double -> uint64 cast would then be undefined.
+  // Clamp to the largest representable skip count — callers always cap a
+  // geometric draw at a finite step budget, so the clamp is unobservable.
+  constexpr double max_skips = 18446744073709549568.0;  // largest ok double
+  if (skips >= max_skips) return static_cast<std::uint64_t>(max_skips);
+  return static_cast<std::uint64_t>(skips);
 }
 
 rng rng::split() {

@@ -44,7 +44,10 @@ class rng {
   bool next_bernoulli(double p);
 
   /// Number of failures before the first success of a Bernoulli(p) sequence
-  /// (support {0, 1, 2, ...}). Requires p in (0, 1].
+  /// (support {0, 1, 2, ...}). Requires p in (0, 1]. Draws whose inversion
+  /// exceeds the 64-bit range (possible for p below ~1e-18) are clamped to
+  /// the largest representable count, so the cast is always defined;
+  /// callers that cap a draw at a step budget never observe the clamp.
   std::uint64_t next_geometric(double p);
 
   /// Derives an independent generator (for sub-streams) by jumping the state

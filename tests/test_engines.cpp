@@ -1,11 +1,12 @@
-// Engine equivalence suite: the agent, census, and batched engines execute
-// the same interaction law for a given (protocol, initial census, sampling)
-// triple. Pinned here via (a) exact kernel-vs-interact agreement, (b)
-// bitwise agent-engine/legacy-simulation agreement under shared seeds, (c)
-// two-sample chi-square cross-checks of replica statistics at a fixed
-// parallel time for IGT, approximate majority, and rumor, and (d) agreement
-// of census-engine stationary statistics with igt_count_chain (equation (5))
-// and the Theorem 2.7 closed form.
+// Engine equivalence suite: the agent, census, batched, and multibatch
+// engines execute the same interaction law for a given (protocol, initial
+// census, sampling) triple. Pinned here via (a) exact kernel-vs-interact
+// agreement, (b) bitwise agent-engine/legacy-simulation agreement under
+// shared seeds, (c) two-sample chi-square cross-checks of replica
+// statistics at a fixed parallel time for IGT, approximate majority,
+// rumor, and leader election, and (d) agreement of census-engine
+// stationary statistics with igt_count_chain (equation (5)) and the
+// Theorem 2.7 closed form.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -18,6 +19,7 @@
 #include "ppg/pp/batched_engine.hpp"
 #include "ppg/pp/census_engine.hpp"
 #include "ppg/pp/kernel.hpp"
+#include "ppg/pp/multibatch_engine.hpp"
 #include "ppg/pp/protocols/approximate_majority.hpp"
 #include "ppg/pp/protocols/leader_election.hpp"
 #include "ppg/pp/protocols/rumor.hpp"
@@ -113,14 +115,18 @@ TEST(Engines, KernellessProtocolRestrictedToAgentEngine) {
                invariant_error);
   EXPECT_THROW((void)spec.make_engine(engine_kind::batched, gen),
                invariant_error);
+  EXPECT_THROW((void)spec.make_engine(engine_kind::multibatch, gen),
+               invariant_error);
 }
 
-TEST(Engines, BatchedRequiresDistinctSampling) {
+TEST(Engines, BatchedAndMultibatchRequireDistinctSampling) {
   const rumor_protocol proto;
   const sim_spec spec(proto, population({1, 0, 0, 0}, 2),
                       pair_sampling::with_replacement);
   rng gen(5);
   EXPECT_THROW((void)spec.make_engine(engine_kind::batched, gen),
+               invariant_error);
+  EXPECT_THROW((void)spec.make_engine(engine_kind::multibatch, gen),
                invariant_error);
   EXPECT_NO_THROW((void)spec.make_engine(engine_kind::census, gen));
 }
@@ -162,8 +168,11 @@ TEST(Engines, AgreeOnIgtAtFixedParallelTime) {
       spec, engine_kind::census, replicas, steps, 91, statistic);
   const auto batched = testing::replica_statistics(
       spec, engine_kind::batched, replicas, steps, 92, statistic);
+  const auto multibatch = testing::replica_statistics(
+      spec, engine_kind::multibatch, replicas, steps, 292, statistic);
   EXPECT_GT(testing::two_sample_p(agent, census, 8), 1e-4);
   EXPECT_GT(testing::two_sample_p(agent, batched, 8), 1e-4);
+  EXPECT_GT(testing::two_sample_p(agent, multibatch, 8), 1e-4);
 }
 
 TEST(Engines, AgreeOnApproximateMajorityAtFixedParallelTime) {
@@ -186,8 +195,11 @@ TEST(Engines, AgreeOnApproximateMajorityAtFixedParallelTime) {
       spec, engine_kind::census, replicas, steps, 94, statistic);
   const auto batched = testing::replica_statistics(
       spec, engine_kind::batched, replicas, steps, 95, statistic);
+  const auto multibatch = testing::replica_statistics(
+      spec, engine_kind::multibatch, replicas, steps, 295, statistic);
   EXPECT_GT(testing::two_sample_p(agent, census, 8), 1e-4);
   EXPECT_GT(testing::two_sample_p(agent, batched, 8), 1e-4);
+  EXPECT_GT(testing::two_sample_p(agent, multibatch, 8), 1e-4);
 }
 
 TEST(Engines, AgreeOnRumorAtFixedParallelTime) {
@@ -206,8 +218,11 @@ TEST(Engines, AgreeOnRumorAtFixedParallelTime) {
       spec, engine_kind::census, replicas, steps, 97, statistic);
   const auto batched = testing::replica_statistics(
       spec, engine_kind::batched, replicas, steps, 98, statistic);
+  const auto multibatch = testing::replica_statistics(
+      spec, engine_kind::multibatch, replicas, steps, 298, statistic);
   EXPECT_GT(testing::two_sample_p(agent, census, 8), 1e-4);
   EXPECT_GT(testing::two_sample_p(agent, batched, 8), 1e-4);
+  EXPECT_GT(testing::two_sample_p(agent, multibatch, 8), 1e-4);
 }
 
 TEST(Engines, AgreeOnLeaderElectionAtFixedParallelTime) {
@@ -226,8 +241,11 @@ TEST(Engines, AgreeOnLeaderElectionAtFixedParallelTime) {
       spec, engine_kind::census, replicas, steps, 111, statistic);
   const auto batched = testing::replica_statistics(
       spec, engine_kind::batched, replicas, steps, 112, statistic);
+  const auto multibatch = testing::replica_statistics(
+      spec, engine_kind::multibatch, replicas, steps, 312, statistic);
   EXPECT_GT(testing::two_sample_p(agent, census, 8), 1e-4);
   EXPECT_GT(testing::two_sample_p(agent, batched, 8), 1e-4);
+  EXPECT_GT(testing::two_sample_p(agent, multibatch, 8), 1e-4);
 }
 
 TEST(Engines, ChiSquareCrossCheckDetectsDifferentLaws) {
@@ -333,6 +351,54 @@ TEST(Engines, BatchedEngineSkipsIdentityInteractionsAtScale) {
   EXPECT_EQ(total, 100'000'000u);
 }
 
+TEST(Engines, MultibatchAggregatesDenseKernelsAtScale) {
+  // Dense GTFT population at n = 10^8: nearly every interaction changes
+  // the census, so the batched engine degenerates to one sampling round
+  // per interaction while the multibatch engine advances in ~sqrt(n)-sized
+  // aggregated rounds.
+  const std::size_t k = 8;
+  const igt_protocol proto(k);
+  std::vector<std::uint64_t> counts(2 + k, 0);
+  counts[igt_encoding::ac] = 10'000'000;
+  counts[igt_encoding::ad] = 20'000'000;
+  counts[igt_encoding::gtft(0)] = 70'000'000;
+  const sim_spec spec(proto, counts);
+  rng gen(108);
+  const auto engine = spec.make_engine(engine_kind::multibatch, gen);
+  engine->run(10'000'000);
+  EXPECT_EQ(engine->interactions(), 10'000'000u);
+  std::uint64_t total = 0;
+  for (const auto c : engine->census().counts()) total += c;
+  EXPECT_EQ(total, 100'000'000u);
+  const auto* multibatch =
+      dynamic_cast<const multibatch_engine*>(engine.get());
+  ASSERT_NE(multibatch, nullptr);
+  // ~sqrt(n)-interaction rounds: the work metric is thousands of times
+  // below the interaction count (the bound is loose on purpose).
+  EXPECT_LT(multibatch->rounds() + multibatch->collisions(), 100'000u);
+}
+
+TEST(Engines, MultibatchRoundsSurviveBudgetTruncation) {
+  // run() boundaries land mid-round; the residual collision-free run is
+  // carried across calls, so odd-sized chunks must keep the interaction
+  // accounting and the census intact.
+  const igt_protocol proto(3);
+  const auto pop = abg_population::from_fractions(500, 0.2, 0.3, 0.5);
+  const sim_spec spec(proto,
+                      population(make_igt_population_states(pop, 3, 0), 5));
+  rng gen(109);
+  const auto engine = spec.make_engine(engine_kind::multibatch, gen);
+  std::uint64_t done = 0;
+  for (const std::uint64_t chunk : {7u, 1u, 123u, 5u, 999u, 13u, 2048u}) {
+    engine->run(chunk);
+    done += chunk;
+    EXPECT_EQ(engine->interactions(), done);
+    std::uint64_t total = 0;
+    for (const auto c : engine->census().counts()) total += c;
+    EXPECT_EQ(total, 500u);
+  }
+}
+
 TEST(Engines, BatchedFrozenCensusBurnsTheBudget) {
   // All agents informed: every pair is an identity, active weight 0.
   const rumor_protocol proto;
@@ -355,7 +421,8 @@ TEST(Engines, RunUntilConvergesOnEveryEngine) {
   states[0] = rumor_protocol::state_informed;
   const sim_spec spec(proto, population(std::move(states), 2));
   for (const auto kind :
-       {engine_kind::agent, engine_kind::census, engine_kind::batched}) {
+       {engine_kind::agent, engine_kind::census, engine_kind::batched,
+        engine_kind::multibatch}) {
     rng gen(106);
     const auto engine = spec.make_engine(kind, gen);
     const auto executed =
@@ -372,7 +439,8 @@ TEST(Engines, SnapshotCadenceIsUniformAcrossEngines) {
   const sim_spec spec(proto,
                       population(make_igt_population_states(pop, 3, 0), 5));
   for (const auto kind :
-       {engine_kind::agent, engine_kind::census, engine_kind::batched}) {
+       {engine_kind::agent, engine_kind::census, engine_kind::batched,
+        engine_kind::multibatch}) {
     rng gen(107);
     const auto engine = spec.make_engine(kind, gen);
     const auto snaps = engine->run_with_snapshots(25, 10);

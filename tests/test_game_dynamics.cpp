@@ -1,7 +1,8 @@
 // The generic game-dynamics layer: game_matrix builders, update-rule
 // contracts, the game_protocol compilation (game + rule -> kernel), engine
 // agreement (two-sample chi-square at fixed parallel time across the agent,
-// census, and batched engines for every update rule on at least two games),
+// census, batched, and multibatch engines for every update rule on at
+// least two games),
 // and bitwise equivalence of igt_protocol — now a game_protocol
 // specialization — with the paper's hand-written Definition 2.1 transition
 // function, frozen here as the reference.
@@ -268,8 +269,9 @@ TEST(GameProtocol, InteractMatchesDefaultKernelSampling) {
 
 // ---------------------------------------------------------------------------
 // The shared engine-agreement suite: for every update rule, on two games
-// each, the agent, census, and batched engines must agree in distribution
-// at a fixed parallel time (two-sample chi-square on a census statistic).
+// each, the agent, census, batched, and multibatch engines must agree in
+// distribution at a fixed parallel time (two-sample chi-square on a census
+// statistic).
 // ---------------------------------------------------------------------------
 
 struct engine_case {
@@ -337,8 +339,11 @@ TEST(Engines, AllUpdateRulesAgreeAcrossEnginesAtFixedParallelTime) {
         spec, engine_kind::census, replicas, steps, master++, statistic);
     const auto batched = testing::replica_statistics(
         spec, engine_kind::batched, replicas, steps, master++, statistic);
+    const auto multibatch = testing::replica_statistics(
+        spec, engine_kind::multibatch, replicas, steps, master++, statistic);
     EXPECT_GT(testing::two_sample_p(agent, census, 8), 1e-4) << c.label;
     EXPECT_GT(testing::two_sample_p(agent, batched, 8), 1e-4) << c.label;
+    EXPECT_GT(testing::two_sample_p(agent, multibatch, 8), 1e-4) << c.label;
   }
 }
 

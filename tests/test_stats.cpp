@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "ppg/stats/chi_square.hpp"
+#include "ppg/stats/discrete_sampling.hpp"
 #include "ppg/stats/distributions.hpp"
 #include "ppg/stats/empirical.hpp"
 #include "ppg/stats/histogram.hpp"

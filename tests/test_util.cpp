@@ -153,6 +153,35 @@ TEST(Rng, GeometricWithPOneIsZero) {
   }
 }
 
+TEST(Rng, GeometricSmallPKeepsItsMean) {
+  // p small enough that a naive log(1-p) would lose precision; the log1p
+  // inversion must keep the mean at (1-p)/p ~ 1e6.
+  rng gen(20);
+  const double p = 1e-6;
+  double sum = 0.0;
+  constexpr int trials = 100000;
+  for (int i = 0; i < trials; ++i) {
+    sum += static_cast<double>(gen.next_geometric(p));
+  }
+  EXPECT_NEAR(sum / trials / 1e6, 1.0, 0.05);
+}
+
+TEST(Rng, GeometricTinyPClampsInsteadOfOverflowing) {
+  // For p ~ 1e-300 the inversion exceeds the 64-bit range on essentially
+  // every draw; the cast must be clamped (UB before the fix), and the
+  // clamped value is the largest representable skip count.
+  rng gen(21);
+  for (int i = 0; i < 100; ++i) {
+    const auto skips = gen.next_geometric(1e-300);
+    EXPECT_GE(skips, std::uint64_t{1} << 62);
+  }
+  // p just past the clamp threshold still produces in-range finite draws.
+  rng gen2(22);
+  for (int i = 0; i < 1000; ++i) {
+    (void)gen2.next_geometric(1e-12);
+  }
+}
+
 TEST(Rng, SplitProducesIndependentStream) {
   rng gen(23);
   rng child = gen.split();

@@ -1,0 +1,115 @@
+#include "ppg/exp/resume.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "ppg/util/error.hpp"
+#include "ppg/util/rng.hpp"
+#include "ppg/util/thread_pool.hpp"
+
+namespace ppg {
+namespace {
+
+std::size_t resolve_threads(std::size_t threads) {
+  if (threads != 0) return threads;
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+}  // namespace
+
+resumable_sweep::resumable_sweep(sim_recipe recipe, engine_kind kind,
+                                 std::uint64_t master_seed,
+                                 std::size_t replicas, std::uint64_t horizon,
+                                 std::size_t threads)
+    : recipe_(std::move(recipe)),
+      kind_(kind),
+      master_seed_(master_seed),
+      horizon_(horizon),
+      threads_(resolve_threads(threads)) {
+  PPG_CHECK(replicas >= 1, "a sweep needs at least one replica");
+  engines_.reserve(replicas);
+  for (std::size_t i = 0; i < replicas; ++i) {
+    rng gen = make_stream_rng(master_seed_, i);
+    engines_.push_back(recipe_.spec().make_engine(kind_, gen));
+  }
+}
+
+bool resumable_sweep::advance(std::uint64_t chunk) {
+  PPG_CHECK(chunk > 0, "sweep chunk must be positive");
+  // Same worker-pool shape as batch_runner: an atomic index dealt to the
+  // pool. Engines are independent, so completion order is irrelevant.
+  thread_pool pool(std::min(threads_, engines_.size()));
+  std::atomic<std::size_t> next{0};
+  for (std::size_t w = 0; w < pool.size(); ++w) {
+    pool.submit([&] {
+      for (std::size_t i = next.fetch_add(1); i < engines_.size();
+           i = next.fetch_add(1)) {
+        auto& engine = *engines_[i];
+        const std::uint64_t done = engine.interactions();
+        if (done >= horizon_) continue;
+        engine.run(std::min(chunk, horizon_ - done));
+      }
+    });
+  }
+  pool.wait_idle();
+  return !finished();
+}
+
+bool resumable_sweep::finished() const {
+  for (const auto& engine : engines_) {
+    if (engine->interactions() < horizon_) return false;
+  }
+  return true;
+}
+
+const sim_engine& resumable_sweep::replica(std::size_t i) const {
+  PPG_CHECK(i < engines_.size(), "replica index out of range");
+  return *engines_[i];
+}
+
+json resumable_sweep::save() const {
+  json doc = json::object();
+  doc["schema_version"] = checkpoint_schema_version;
+  doc["spec"] = recipe_.to_json();
+  doc["kind"] = engine_kind_name(kind_);
+  doc["master_seed"] = master_seed_;
+  doc["horizon"] = horizon_;
+  json snapshots = json::array();
+  for (const auto& engine : engines_) {
+    snapshots.push_back(engine->save_state());
+  }
+  doc["replicas"] = std::move(snapshots);
+  return doc;
+}
+
+resumable_sweep resumable_sweep::restore(const json& doc,
+                                         std::size_t threads) {
+  const char* where = "sweep checkpoint";
+  json_require_keys(
+      doc, {"schema_version", "spec", "kind", "master_seed", "horizon",
+            "replicas"},
+      where);
+  const std::uint64_t version =
+      json_require_uint(doc, "schema_version", where);
+  PPG_CHECK(version == checkpoint_schema_version,
+            "sweep checkpoint: unsupported schema_version " +
+                std::to_string(version));
+  sim_recipe recipe = sim_recipe::from_json(json_require(doc, "spec", where));
+  const engine_kind kind =
+      engine_kind_from_name(json_require_string(doc, "kind", where));
+  const auto& snapshots = json_require_array(doc, "replicas", where);
+  PPG_CHECK(!snapshots.empty(), "sweep checkpoint: no replicas");
+  resumable_sweep sweep(std::move(recipe), kind,
+                        json_require_uint(doc, "master_seed", where),
+                        snapshots.size(),
+                        json_require_uint(doc, "horizon", where), threads);
+  for (std::size_t i = 0; i < snapshots.size(); ++i) {
+    sweep.engines_[i]->restore_state(snapshots[i]);
+  }
+  return sweep;
+}
+
+}  // namespace ppg

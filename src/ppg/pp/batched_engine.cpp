@@ -26,7 +26,6 @@ batched_engine::batched_engine(const protocol& proto,
   responder_in_row_.assign(q * q, 0);
   is_active_row_.assign(q, 0);
   rows_with_responder_.assign(q, {});
-  row_responder_sum_.assign(q, 0);
   for (agent_state u = 0; u < q; ++u) {
     bool row_active = false;
     for (agent_state v = 0; v < q; ++v) {
@@ -34,16 +33,66 @@ batched_engine::batched_engine(const protocol& proto,
       row_active = true;
       responder_in_row_[u * q + v] = 1;
       rows_with_responder_[v].push_back(u);
-      row_responder_sum_[u] += counts_[v];
     }
     if (row_active) {
       active_rows_.push_back(u);
       is_active_row_[u] = 1;
     }
   }
+  rebuild_row_sums();
+}
+
+void batched_engine::rebuild_row_sums() {
+  const std::size_t q = kernel_.num_states();
+  row_responder_sum_.assign(q, 0);
+  for (agent_state u = 0; u < q; ++u) {
+    for (agent_state v = 0; v < q; ++v) {
+      if (responder_in_row_[u * q + v] != 0) {
+        row_responder_sum_[u] += counts_[v];
+      }
+    }
+  }
+  active_weight_ = 0;
   for (const auto u : active_rows_) {
     active_weight_ += row_weight(u);
   }
+}
+
+json batched_engine::save_state() const {
+  json snapshot = snapshot_envelope(interactions_, gen_);
+  snapshot["counts"] = json_uint_array(counts_);
+  snapshot["batches"] = batches_;
+  snapshot["active_weight"] = active_weight_;
+  return snapshot;
+}
+
+void batched_engine::restore_state(const json& snapshot) {
+  json_require_keys(snapshot,
+                    {"state_version", "engine", "interactions", "rng",
+                     "counts", "batches", "active_weight"},
+                    "batched snapshot");
+  const auto core = check_snapshot_envelope(snapshot);
+  const auto counts =
+      json_require_uint_array(snapshot, "counts", "batched snapshot");
+  PPG_CHECK(counts.size() == counts_.size(),
+            "batched snapshot: state-space width mismatch");
+  std::uint64_t total = 0;
+  for (std::size_t s = 0; s < counts.size(); ++s) {
+    PPG_CHECK(s < kernel_.num_states() || counts[s] == 0,
+              "batched snapshot: agents in states outside the protocol's "
+              "space");
+    total += counts[s];
+  }
+  PPG_CHECK(total == n_, "batched snapshot: population size mismatch");
+  counts_ = counts;
+  rebuild_row_sums();
+  PPG_CHECK(json_require_uint(snapshot, "active_weight", "batched snapshot") ==
+                active_weight_,
+            "batched snapshot: stored non-identity mass disagrees with the "
+            "census (corrupt checkpoint)");
+  batches_ = json_require_uint(snapshot, "batches", "batched snapshot");
+  interactions_ = core.interactions;
+  gen_ = core.gen;
 }
 
 std::uint64_t batched_engine::row_weight(std::size_t row) const {

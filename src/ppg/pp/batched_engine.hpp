@@ -54,7 +54,19 @@ class batched_engine final : public sim_engine {
   /// work metric — on dense kernels it approaches interactions().
   [[nodiscard]] std::uint64_t batches() const { return batches_; }
 
+  /// Snapshot payload: counts, the batch counter, and the incrementally
+  /// maintained non-identity mass. restore_state re-derives the mass from
+  /// the restored counts and cross-checks it against the stored value, so a
+  /// checkpoint whose census and mass disagree is rejected instead of
+  /// silently corrupting the geometric batch law.
+  [[nodiscard]] json save_state() const override;
+  void restore_state(const json& snapshot) override;
+
  private:
+  /// Recomputes the responder sums R_u and the total non-identity mass from
+  /// counts_ (construction and restore; every other update is incremental).
+  void rebuild_row_sums();
+
   /// Number of ordered agent pairs realizing initiator row u: the weight of
   /// row u is c_u * (R_u - [u in S_u]).
   [[nodiscard]] std::uint64_t row_weight(std::size_t row) const;

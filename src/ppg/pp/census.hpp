@@ -48,8 +48,9 @@ class census_view {
 };
 
 /// A convergence predicate over the census — the uniform signature every
-/// engine's run_until accepts. Population-based predicates are deprecated;
-/// see simulation::run_until_agents for the shim.
+/// engine's run_until accepts. (Population-based predicates are gone: the
+/// census view carries everything an anonymous-population predicate can
+/// lawfully depend on, on every engine.)
 using census_predicate = std::function<bool(const census_view&)>;
 
 /// One census snapshot taken during a run.

@@ -64,6 +64,34 @@ void census_engine::step() {
   ++interactions_;
 }
 
+json census_engine::save_state() const {
+  json snapshot = snapshot_envelope(interactions_, gen_);
+  snapshot["counts"] = json_uint_array(counts_);
+  return snapshot;
+}
+
+void census_engine::restore_state(const json& snapshot) {
+  json_require_keys(
+      snapshot, {"state_version", "engine", "interactions", "rng", "counts"},
+      "census snapshot");
+  const auto core = check_snapshot_envelope(snapshot);
+  const auto counts =
+      json_require_uint_array(snapshot, "counts", "census snapshot");
+  PPG_CHECK(counts.size() == counts_.size(),
+            "census snapshot: state-space width mismatch");
+  std::uint64_t total = 0;
+  for (std::size_t s = 0; s < counts.size(); ++s) {
+    PPG_CHECK(s < kernel_.num_states() || counts[s] == 0,
+              "census snapshot: agents in states outside the protocol's "
+              "space");
+    total += counts[s];
+  }
+  PPG_CHECK(total == n_, "census snapshot: population size mismatch");
+  counts_ = counts;
+  interactions_ = core.interactions;
+  gen_ = core.gen;
+}
+
 // Identical loop to the sim_engine default, but compiled against the final
 // class: step() dispatches statically here, which is worth ~15% on the
 // per-interaction hot path (the base-class loop pays a virtual call per

@@ -36,6 +36,11 @@ class census_engine final : public sim_engine {
     return engine_kind::census;
   }
 
+  /// Snapshot payload: the count vector (the engine's whole state beyond
+  /// the shared envelope).
+  [[nodiscard]] json save_state() const override;
+  void restore_state(const json& snapshot) override;
+
  private:
   /// The state holding the `target`-th agent (0-indexed) when agents are
   /// ordered by state; `excluded` removes one agent of that state first

@@ -1,6 +1,7 @@
 #include "ppg/pp/engine.hpp"
 
 #include <algorithm>
+#include <string>
 #include <utility>
 
 #include "ppg/pp/batched_engine.hpp"
@@ -22,6 +23,48 @@ const char* engine_kind_name(engine_kind kind) {
       return "multibatch";
   }
   return "unknown";
+}
+
+engine_kind engine_kind_from_name(std::string_view name) {
+  for (const auto kind : {engine_kind::agent, engine_kind::census,
+                          engine_kind::batched, engine_kind::multibatch}) {
+    if (name == engine_kind_name(kind)) return kind;
+  }
+  PPG_CHECK(false, "unknown engine kind '" + std::string(name) + "'");
+}
+
+json sim_engine::snapshot_envelope(std::uint64_t interactions,
+                                   const rng& gen) const {
+  json snapshot = json::object();
+  snapshot["state_version"] = engine_state_version;
+  snapshot["engine"] = engine_kind_name(kind());
+  snapshot["interactions"] = interactions;
+  const auto state = gen.save();
+  snapshot["rng"] =
+      json_uint_array({state[0], state[1], state[2], state[3]});
+  return snapshot;
+}
+
+sim_engine::snapshot_core sim_engine::check_snapshot_envelope(
+    const json& snapshot) const {
+  const char* where = "engine snapshot";
+  const std::uint64_t version =
+      json_require_uint(snapshot, "state_version", where);
+  PPG_CHECK(version == engine_state_version,
+            "engine snapshot: unsupported state_version " +
+                std::to_string(version) + " (this build reads " +
+                std::to_string(engine_state_version) + ")");
+  const std::string& name = json_require_string(snapshot, "engine", where);
+  PPG_CHECK(name == engine_kind_name(kind()),
+            "engine snapshot: kind mismatch — snapshot is '" + name +
+                "', restoring engine is '" + engine_kind_name(kind()) + "'");
+  snapshot_core core;
+  core.interactions = json_require_uint(snapshot, "interactions", where);
+  const auto words = json_require_uint_array(snapshot, "rng", where);
+  PPG_CHECK(words.size() == 4,
+            "engine snapshot: rng state must be 4 words of 64 bits");
+  core.gen.restore({words[0], words[1], words[2], words[3]});
+  return core;
 }
 
 void sim_engine::run(std::uint64_t steps) {
@@ -100,15 +143,37 @@ void simulation::run(std::uint64_t steps) {
   }
 }
 
-std::uint64_t simulation::run_until_agents(
-    const std::function<bool(const population&)>& converged,
-    std::uint64_t max_steps) {
-  std::uint64_t executed = 0;
-  while (executed < max_steps && !converged(agents_)) {
-    step();
-    ++executed;
+json simulation::save_state() const {
+  json snapshot = snapshot_envelope(interactions_, gen_);
+  std::vector<std::uint64_t> states;
+  states.reserve(agents_.size());
+  for (const auto state : agents_.states()) {
+    states.push_back(state);
   }
-  return executed;
+  snapshot["states"] = json_uint_array(states);
+  return snapshot;
+}
+
+void simulation::restore_state(const json& snapshot) {
+  json_require_keys(
+      snapshot, {"state_version", "engine", "interactions", "rng", "states"},
+      "agent snapshot");
+  const auto core = check_snapshot_envelope(snapshot);
+  const auto raw = json_require_uint_array(snapshot, "states", "agent snapshot");
+  PPG_CHECK(raw.size() == agents_.size(),
+            "agent snapshot: population size mismatch");
+  std::vector<agent_state> states;
+  states.reserve(raw.size());
+  for (const auto state : raw) {
+    PPG_CHECK(state < agents_.num_state_kinds(),
+              "agent snapshot: state outside the population's space");
+    states.push_back(static_cast<agent_state>(state));
+  }
+  // The population constructor re-derives the census from the states, so a
+  // restored engine can never disagree with its own counts.
+  agents_ = population(std::move(states), agents_.num_state_kinds());
+  interactions_ = core.interactions;
+  gen_ = core.gen;
 }
 
 namespace {

@@ -8,14 +8,15 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <optional>
+#include <string_view>
 #include <vector>
 
 #include "ppg/pp/census.hpp"
 #include "ppg/pp/kernel.hpp"
 #include "ppg/pp/scheduler.hpp"
+#include "ppg/util/json.hpp"
 
 namespace ppg {
 
@@ -31,6 +32,16 @@ enum class engine_kind : std::uint8_t {
 };
 
 [[nodiscard]] const char* engine_kind_name(engine_kind kind);
+
+/// Inverse of engine_kind_name; throws ppg::invariant_error on an unknown
+/// name (strict checkpoint parsing).
+[[nodiscard]] engine_kind engine_kind_from_name(std::string_view name);
+
+/// Version stamped into every engine snapshot ("state_version"). Additive
+/// changes keep the version; anything that changes the meaning of an
+/// existing field bumps it, and restore_state rejects versions it does not
+/// know. See DESIGN.md §9.
+inline constexpr std::uint64_t engine_state_version = 1;
 
 /// Interface of a running simulation. All engines implement the exact same
 /// interaction law for a given (protocol, initial census, pair_sampling)
@@ -70,6 +81,26 @@ class sim_engine {
   /// Which backend this is.
   [[nodiscard]] virtual engine_kind kind() const = 0;
 
+  /// The engine's *complete* dynamical state as a versioned, JSON-
+  /// serializable snapshot: census or per-agent array, interaction counter,
+  /// any cross-run() carry (the multibatch residual round), and the full
+  /// 256-bit RNG position. Restoring the snapshot into a fresh engine of
+  /// the same kind built from the same spec — in this process or another —
+  /// continues the trajectory bit-exactly: a run that passes through
+  /// save_state()/restore_state() at a run() boundary is indistinguishable,
+  /// draw for draw, from one that does not. Protocol identity and the
+  /// initial condition are *not* in the snapshot; pair a snapshot with its
+  /// spec via pp/checkpoint.hpp's self-describing checkpoint files.
+  [[nodiscard]] virtual json save_state() const = 0;
+
+  /// Restores a snapshot produced by save_state() on an engine of the same
+  /// kind and spec. Strict: unknown keys, a foreign engine name, a version
+  /// this build does not know, or counts inconsistent with the engine's
+  /// population all throw ppg::invariant_error and leave the engine
+  /// unmodified only up to the first failed check — treat a throwing
+  /// restore as fatal for this engine instance and rebuild it.
+  virtual void restore_state(const json& snapshot) = 0;
+
   [[nodiscard]] std::uint64_t population_size() const {
     return census().population_size();
   }
@@ -78,6 +109,21 @@ class sim_engine {
   [[nodiscard]] double parallel_time() const;
 
  protected:
+  /// The snapshot fields every engine shares, in canonical order:
+  /// {"state_version", "engine", "interactions", "rng"}. Engine-specific
+  /// fields are appended by the caller.
+  [[nodiscard]] json snapshot_envelope(std::uint64_t interactions,
+                                       const rng& gen) const;
+
+  /// Validates the shared fields of `snapshot` (version known, engine name
+  /// == this kind) and returns the restored interaction counter and RNG.
+  struct snapshot_core {
+    std::uint64_t interactions = 0;
+    rng gen;
+  };
+  [[nodiscard]] snapshot_core check_snapshot_envelope(
+      const json& snapshot) const;
+
   /// Copy/move are protected: concrete engines stay copyable (simulation is
   /// returned by value), but copying or assigning through a sim_engine&
   /// would slice away the derived state.
@@ -99,22 +145,17 @@ class simulation final : public sim_engine {
   void step() override;
   void run(std::uint64_t steps) override;
 
-  using sim_engine::run_until;
-
-  /// Deprecated shim for population-based convergence predicates; new code
-  /// should use run_until with a census_predicate (available on every
-  /// engine). Only the agent engine can evaluate population-based
-  /// predicates, so this shim has no equivalent on the interface.
-  std::uint64_t run_until_agents(
-      const std::function<bool(const population&)>& converged,
-      std::uint64_t max_steps);
-
   [[nodiscard]] const population& agents() const { return agents_; }
   [[nodiscard]] census_view census() const override { return {agents_}; }
   [[nodiscard]] std::uint64_t interactions() const override {
     return interactions_;
   }
   [[nodiscard]] engine_kind kind() const override { return engine_kind::agent; }
+
+  /// Snapshot payload: the per-agent state array (the census is derived
+  /// from it on restore).
+  [[nodiscard]] json save_state() const override;
+  void restore_state(const json& snapshot) override;
 
  private:
   const protocol* proto_;

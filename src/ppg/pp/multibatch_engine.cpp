@@ -227,9 +227,101 @@ void multibatch_engine::merge_touched() {
   untouched_total_ = n_;
 }
 
+void multibatch_engine::check_round_invariants() const {
+#ifdef NDEBUG
+  // The PPG_DCHECKs below compile out in Release; skip the O(q) sweep too.
+  return;
+#else
+  std::uint64_t untouched_sum = 0;
+  for (std::size_t s = 0; s < counts_.size(); ++s) {
+    PPG_DCHECK(untouched_[s] + touched_[s] == counts_[s],
+               "multibatch invariant: pools must partition the census");
+    untouched_sum += untouched_[s];
+  }
+  PPG_DCHECK(untouched_sum == untouched_total_,
+             "multibatch invariant: stale untouched_total");
+  PPG_DCHECK(collision_pending_ || pending_free_ == 0,
+             "multibatch invariant: residual carry outside a round");
+  PPG_DCHECK(collision_pending_ || untouched_total_ == n_,
+             "multibatch invariant: touched agents outside a round");
+  PPG_DCHECK(2 * pending_free_ <= untouched_total_,
+             "multibatch invariant: residual free run exceeds the untouched "
+             "pool");
+#endif
+}
+
+json multibatch_engine::save_state() const {
+  json snapshot = snapshot_envelope(interactions_, gen_);
+  snapshot["counts"] = json_uint_array(counts_);
+  snapshot["untouched"] = json_uint_array(untouched_);
+  snapshot["touched"] = json_uint_array(touched_);
+  snapshot["untouched_total"] = untouched_total_;
+  snapshot["rounds"] = rounds_;
+  snapshot["collisions"] = collisions_;
+  snapshot["pending_free"] = pending_free_;
+  snapshot["collision_pending"] = collision_pending_;
+  return snapshot;
+}
+
+void multibatch_engine::restore_state(const json& snapshot) {
+  const char* where = "multibatch snapshot";
+  json_require_keys(snapshot,
+                    {"state_version", "engine", "interactions", "rng",
+                     "counts", "untouched", "touched", "untouched_total",
+                     "rounds", "collisions", "pending_free",
+                     "collision_pending"},
+                    where);
+  const auto core = check_snapshot_envelope(snapshot);
+  const auto counts = json_require_uint_array(snapshot, "counts", where);
+  const auto untouched = json_require_uint_array(snapshot, "untouched", where);
+  const auto touched = json_require_uint_array(snapshot, "touched", where);
+  PPG_CHECK(counts.size() == counts_.size() &&
+                untouched.size() == counts_.size() &&
+                touched.size() == counts_.size(),
+            "multibatch snapshot: state-space width mismatch");
+  const std::uint64_t untouched_total =
+      json_require_uint(snapshot, "untouched_total", where);
+  const std::uint64_t pending_free =
+      json_require_uint(snapshot, "pending_free", where);
+  const bool collision_pending =
+      json_require_bool(snapshot, "collision_pending", where);
+  std::uint64_t total = 0;
+  std::uint64_t untouched_sum = 0;
+  for (std::size_t s = 0; s < counts.size(); ++s) {
+    PPG_CHECK(s < kernel_.num_states() || counts[s] == 0,
+              "multibatch snapshot: agents in states outside the protocol's "
+              "space");
+    PPG_CHECK(untouched[s] + touched[s] == counts[s],
+              "multibatch snapshot: pools do not partition the census");
+    total += counts[s];
+    untouched_sum += untouched[s];
+  }
+  PPG_CHECK(total == n_, "multibatch snapshot: population size mismatch");
+  PPG_CHECK(untouched_sum == untouched_total,
+            "multibatch snapshot: untouched_total disagrees with the pool");
+  PPG_CHECK(collision_pending || pending_free == 0,
+            "multibatch snapshot: residual carry outside a round");
+  PPG_CHECK(collision_pending || untouched_total == n_,
+            "multibatch snapshot: touched agents outside a round");
+  PPG_CHECK(2 * pending_free <= untouched_total,
+            "multibatch snapshot: residual free run exceeds the untouched "
+            "pool");
+  counts_ = counts;
+  untouched_ = untouched;
+  touched_ = touched;
+  untouched_total_ = untouched_total;
+  pending_free_ = pending_free;
+  collision_pending_ = collision_pending;
+  rounds_ = json_require_uint(snapshot, "rounds", where);
+  collisions_ = json_require_uint(snapshot, "collisions", where);
+  interactions_ = core.interactions;
+  gen_ = core.gen;
+}
+
 void multibatch_engine::step() { run(1); }
 
 void multibatch_engine::run(std::uint64_t steps) {
+  check_round_invariants();
   std::uint64_t remaining = steps;
   while (remaining > 0) {
     if (!collision_pending_) {

@@ -76,7 +76,34 @@ class multibatch_engine final : public sim_engine {
   [[nodiscard]] std::uint64_t rounds() const { return rounds_; }
   [[nodiscard]] std::uint64_t collisions() const { return collisions_; }
 
+  /// The residual-round carry: collision-free interactions of the current
+  /// round drawn but not yet applied because a run() budget truncated the
+  /// round (the birthday law is not memoryless, so the remainder carries
+  /// across run() calls instead of being redrawn). Zero iff the engine sits
+  /// at a round boundary. Exposed so truncation state is inspectable — and
+  /// checkpointable — rather than opaque.
+  [[nodiscard]] std::uint64_t residual_free() const { return pending_free_; }
+
+  /// Whether the engine is inside a round: a collision-free run has been
+  /// drawn (possibly fully applied) and the closing collision has not yet
+  /// been resolved. True whenever residual_free() > 0, and also after the
+  /// free run is exhausted but before the collision interaction executes.
+  [[nodiscard]] bool mid_round() const { return collision_pending_; }
+
+  /// Snapshot payload: counts, both touched/untouched pools, the
+  /// round/collision counters, and the residual-round carry
+  /// (pending_free / collision_pending) — a checkpoint taken inside a
+  /// budget-truncated round resumes the same round, same law, same draws.
+  [[nodiscard]] json save_state() const override;
+  void restore_state(const json& snapshot) override;
+
  private:
+  /// Debug-asserted structural invariants of the round state (pool sums,
+  /// carry consistency); active at every run() entry in Debug/ASan builds,
+  /// compiled out in Release. restore_state enforces the same relations
+  /// unconditionally via PPG_CHECK.
+  void check_round_invariants() const;
+
   /// Draws the number of collision-free interactions before the next
   /// collision when all n agents are untouched (the exact birthday law).
   [[nodiscard]] std::uint64_t sample_collision_free_run();

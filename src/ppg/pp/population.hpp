@@ -40,6 +40,13 @@ class population {
     return counts_;
   }
 
+  /// Every agent's current state, indexed by agent — the per-agent half of
+  /// the population's dynamical state (the agent engine's checkpoint
+  /// payload; the counts above are derived from it).
+  [[nodiscard]] const std::vector<agent_state>& states() const {
+    return states_;
+  }
+
   /// Census normalized by population size.
   [[nodiscard]] std::vector<double> fractions() const;
 

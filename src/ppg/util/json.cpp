@@ -490,4 +490,113 @@ json json::parse(std::string_view text) {
   return json_parser(text).parse_document();
 }
 
+namespace {
+
+std::string describe(std::string_view where, std::string_view key,
+                     const char* what) {
+  std::string message(where);
+  message += ": ";
+  message += what;
+  message += " '";
+  message += key;
+  message += "'";
+  return message;
+}
+
+}  // namespace
+
+const json& json_require(const json& object, std::string_view key,
+                         std::string_view where) {
+  PPG_CHECK(object.is_object(),
+            std::string(where) + ": expected a JSON object");
+  const json* member = object.find(key);
+  PPG_CHECK(member != nullptr, describe(where, key, "missing key"));
+  return *member;
+}
+
+std::uint64_t json_require_uint(const json& object, std::string_view key,
+                                std::string_view where) {
+  const json& member = json_require(object, key, where);
+  PPG_CHECK(member.is_exact_uint(),
+            describe(where, key, "expected an unsigned integer at key"));
+  return member.as_uint64();
+}
+
+double json_require_number(const json& object, std::string_view key,
+                           std::string_view where) {
+  const json& member = json_require(object, key, where);
+  PPG_CHECK(member.is_number(),
+            describe(where, key, "expected a number at key"));
+  return member.as_number();
+}
+
+const std::string& json_require_string(const json& object,
+                                       std::string_view key,
+                                       std::string_view where) {
+  const json& member = json_require(object, key, where);
+  PPG_CHECK(member.is_string(),
+            describe(where, key, "expected a string at key"));
+  return member.as_string();
+}
+
+bool json_require_bool(const json& object, std::string_view key,
+                       std::string_view where) {
+  const json& member = json_require(object, key, where);
+  PPG_CHECK(member.type() == json::kind::boolean,
+            describe(where, key, "expected a boolean at key"));
+  return member.as_bool();
+}
+
+const std::vector<json>& json_require_array(const json& object,
+                                            std::string_view key,
+                                            std::string_view where) {
+  const json& member = json_require(object, key, where);
+  PPG_CHECK(member.is_array(),
+            describe(where, key, "expected an array at key"));
+  return member.items();
+}
+
+void json_require_keys(const json& object,
+                       std::initializer_list<std::string_view> keys,
+                       std::string_view where) {
+  PPG_CHECK(object.is_object(),
+            std::string(where) + ": expected a JSON object");
+  for (const auto key : keys) {
+    (void)json_require(object, key, where);
+  }
+  for (const auto& [name, value] : object.members()) {
+    (void)value;
+    bool known = false;
+    for (const auto key : keys) {
+      if (name == key) {
+        known = true;
+        break;
+      }
+    }
+    PPG_CHECK(known, describe(where, name, "unknown key"));
+  }
+}
+
+std::vector<std::uint64_t> json_require_uint_array(const json& object,
+                                                   std::string_view key,
+                                                   std::string_view where) {
+  const auto& items = json_require_array(object, key, where);
+  std::vector<std::uint64_t> values;
+  values.reserve(items.size());
+  for (const auto& item : items) {
+    PPG_CHECK(item.is_exact_uint(),
+              describe(where, key, "expected unsigned integers in array"));
+    values.push_back(item.as_uint64());
+  }
+  return values;
+}
+
+json json_uint_array(const std::vector<std::uint64_t>& values) {
+  json array = json::array();
+  for (const auto value : values) {
+    array.push_back(value);
+  }
+  return array;
+}
+
 }  // namespace ppg

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
 #include <iosfwd>
 #include <string>
 #include <string_view>
@@ -124,5 +125,41 @@ class json {
 /// Escapes a string for embedding in a JSON document (no surrounding
 /// quotes): ", \, and control characters become escape sequences.
 [[nodiscard]] std::string json_escape(std::string_view text);
+
+/// Strict-access helpers for schema'd documents (engine snapshots,
+/// checkpoint headers, spec recipes): each names the offending key in the
+/// ppg::invariant_error it throws, so a corrupt or hand-edited checkpoint
+/// fails with a message instead of a silent default. `where` prefixes the
+/// message with the document being parsed (e.g. "checkpoint spec").
+[[nodiscard]] const json& json_require(const json& object,
+                                       std::string_view key,
+                                       std::string_view where);
+[[nodiscard]] std::uint64_t json_require_uint(const json& object,
+                                              std::string_view key,
+                                              std::string_view where);
+[[nodiscard]] double json_require_number(const json& object,
+                                         std::string_view key,
+                                         std::string_view where);
+[[nodiscard]] const std::string& json_require_string(const json& object,
+                                                     std::string_view key,
+                                                     std::string_view where);
+[[nodiscard]] bool json_require_bool(const json& object, std::string_view key,
+                                     std::string_view where);
+[[nodiscard]] const std::vector<json>& json_require_array(
+    const json& object, std::string_view key, std::string_view where);
+
+/// Strict shape check: `object` must be an object whose member set is
+/// exactly `keys` (unknown keys are rejected — a key this version does not
+/// understand could change the meaning of the state being restored).
+void json_require_keys(const json& object,
+                       std::initializer_list<std::string_view> keys,
+                       std::string_view where);
+
+/// Reads an array of exact unsigned integers (a census, an RNG state).
+[[nodiscard]] std::vector<std::uint64_t> json_require_uint_array(
+    const json& object, std::string_view key, std::string_view where);
+
+/// Writes a vector of unsigned integers as a JSON array of exact integers.
+[[nodiscard]] json json_uint_array(const std::vector<std::uint64_t>& values);
 
 }  // namespace ppg

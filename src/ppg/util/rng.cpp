@@ -102,6 +102,13 @@ rng rng::split() {
   return rng((*this)());
 }
 
+void rng::restore(const std::array<std::uint64_t, 4>& state) {
+  PPG_CHECK(state[0] != 0 || state[1] != 0 || state[2] != 0 || state[3] != 0,
+            "rng::restore: the all-zero state is not a reachable xoshiro "
+            "state (corrupt checkpoint?)");
+  state_ = state;
+}
+
 std::uint64_t derive_stream_seed(std::uint64_t master, std::uint64_t stream) {
   // Jump the splitmix64 counter directly to position `stream`: adding the
   // golden-ratio increment (stream+1) times is one multiplication.

@@ -55,6 +55,17 @@ class rng {
   /// for simulation sub-streams.
   rng split();
 
+  /// The full 256-bit generator state — the generator's exact position in
+  /// its stream. save() on one process and restore() on another continues
+  /// the identical draw sequence; this is the substrate of the engines'
+  /// bit-exact checkpoint/resume contract (pp/checkpoint.hpp).
+  [[nodiscard]] std::array<std::uint64_t, 4> save() const { return state_; }
+
+  /// Restores a state previously captured by save(). The all-zero state is
+  /// rejected: it is xoshiro's fixed point and is never produced by seeding
+  /// or stepping, so it can only mean a corrupt checkpoint.
+  void restore(const std::array<std::uint64_t, 4>& state);
+
  private:
   std::array<std::uint64_t, 4> state_;
 };

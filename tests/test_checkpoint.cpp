@@ -1,0 +1,425 @@
+// Crash-recovery suite for the checkpoint layer: RNG state capture, the
+// sim_recipe JSON round trip for every built-in registry entry, strict-parse
+// rejection of malformed documents, and the bit-exact resume contract —
+// checkpoint mid-run (including mid-residual for the multibatch engine),
+// restore through a dump/parse cycle as a fresh process would, and assert
+// the continued trajectory is bitwise identical to the uninterrupted twin
+// with the same run() schedule (DESIGN.md §9).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ppg/exp/resume.hpp"
+#include "ppg/pp/checkpoint.hpp"
+#include "ppg/pp/engine.hpp"
+#include "ppg/pp/multibatch_engine.hpp"
+#include "ppg/pp/protocol_registry.hpp"
+#include "ppg/util/error.hpp"
+#include "ppg/util/json.hpp"
+#include "ppg/util/rng.hpp"
+
+namespace ppg {
+namespace {
+
+constexpr engine_kind all_kinds[] = {engine_kind::agent, engine_kind::census,
+                                     engine_kind::batched,
+                                     engine_kind::multibatch};
+
+// --- RNG state capture ----------------------------------------------------
+
+TEST(RngState, SaveRestoreContinuesIdenticalStream) {
+  rng source(8801);
+  for (int i = 0; i < 17; ++i) (void)source();
+  const auto mark = source.save();
+  std::vector<std::uint64_t> expected;
+  for (int i = 0; i < 32; ++i) expected.push_back(source());
+
+  rng other(12345);  // unrelated position; restore overwrites it entirely
+  other.restore(mark);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(other(), expected[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(RngState, AllZeroStateRejected) {
+  rng gen(1);
+  EXPECT_THROW(gen.restore({0, 0, 0, 0}), invariant_error);
+}
+
+// --- sim_recipe round trip ------------------------------------------------
+
+json parse_recipe_doc(const std::string& text) { return json::parse(text); }
+
+void expect_recipe_round_trip(const std::string& text) {
+  const json doc = parse_recipe_doc(text);
+  const sim_recipe recipe = sim_recipe::from_json(doc);
+  const json out = recipe.to_json();
+  // Canonical form is a fixed point: dump → parse → to_json is byte-stable.
+  const sim_recipe again = sim_recipe::from_json(json::parse(
+      out.dump_string()));
+  EXPECT_EQ(again.to_json().dump_string(), out.dump_string());
+  EXPECT_EQ(again.to_json(), out);
+  EXPECT_EQ(recipe.spec().initial_counts(), again.spec().initial_counts());
+  EXPECT_EQ(recipe.sampling(), again.sampling());
+  EXPECT_EQ(recipe.proto().num_states(), again.proto().num_states());
+}
+
+TEST(SimRecipe, ParameterlessProtocolsRoundTrip) {
+  expect_recipe_round_trip(R"({"protocol": {"name": "rumor", "params": {}},
+    "initial_counts": [90, 10], "sampling": "distinct"})");
+  expect_recipe_round_trip(
+      R"({"protocol": {"name": "approximate-majority", "params": {}},
+    "initial_counts": [40, 30, 30], "sampling": "with_replacement"})");
+  expect_recipe_round_trip(
+      R"({"protocol": {"name": "leader-election", "params": {}},
+    "initial_counts": [64, 0], "sampling": "distinct"})");
+}
+
+TEST(SimRecipe, IgtRoundTrip) {
+  expect_recipe_round_trip(
+      R"({"protocol": {"name": "igt",
+                       "params": {"k": 4, "discipline": "one_way"}},
+    "initial_counts": [20, 20, 20, 20, 20, 20], "sampling": "distinct"})");
+}
+
+TEST(SimRecipe, MatrixGameRoundTrip) {
+  expect_recipe_round_trip(
+      R"({"protocol": {"name": "matrix-game",
+                       "params": {"game": {"name": "hawk-dove",
+                                           "value": 2.0, "cost": 3.0},
+                                  "rule": {"name": "logit",
+                                           "temperature": 0.5},
+                                  "discipline": "two_way"}},
+    "initial_counts": [60, 40], "sampling": "distinct"})");
+  expect_recipe_round_trip(
+      R"({"protocol": {"name": "matrix-game",
+                       "params": {"game": {"name": "donation",
+                                           "b": 3.0, "c": 1.0},
+                                  "rule": {"name": "proportional-imitation",
+                                           "rate": 0.25},
+                                  "discipline": "one_way"}},
+    "initial_counts": [50, 50], "sampling": "distinct"})");
+}
+
+TEST(SimRecipe, EveryRegisteredNameIsConstructible) {
+  const auto names = protocol_registry::global().names();
+  EXPECT_GE(names.size(), 5u);
+  for (const auto& name : names) {
+    EXPECT_TRUE(protocol_registry::global().contains(name)) << name;
+  }
+}
+
+TEST(SimRecipe, StrictParseRejectsMalformedDocuments) {
+  // Missing key.
+  EXPECT_THROW(sim_recipe::from_json(parse_recipe_doc(
+                   R"({"protocol": {"name": "rumor", "params": {}},
+                       "initial_counts": [9, 1]})")),
+               invariant_error);
+  // Unknown key.
+  EXPECT_THROW(sim_recipe::from_json(parse_recipe_doc(
+                   R"({"protocol": {"name": "rumor", "params": {}},
+                       "initial_counts": [9, 1], "sampling": "distinct",
+                       "extra": 1})")),
+               invariant_error);
+  // Wrong type.
+  EXPECT_THROW(sim_recipe::from_json(parse_recipe_doc(
+                   R"({"protocol": {"name": "rumor", "params": {}},
+                       "initial_counts": "nope", "sampling": "distinct"})")),
+               invariant_error);
+  // Unknown protocol / sampling names.
+  EXPECT_THROW(sim_recipe::from_json(parse_recipe_doc(
+                   R"({"protocol": {"name": "gossip", "params": {}},
+                       "initial_counts": [9, 1], "sampling": "distinct"})")),
+               invariant_error);
+  EXPECT_THROW(sim_recipe::from_json(parse_recipe_doc(
+                   R"({"protocol": {"name": "rumor", "params": {}},
+                       "initial_counts": [9, 1], "sampling": "sorted"})")),
+               invariant_error);
+  // Parameterless protocols reject stray params.
+  EXPECT_THROW(sim_recipe::from_json(parse_recipe_doc(
+                   R"({"protocol": {"name": "rumor", "params": {"k": 3}},
+                       "initial_counts": [9, 1], "sampling": "distinct"})")),
+               invariant_error);
+}
+
+TEST(SimRecipe, StrictParseRejectsUnknownGameAndRule) {
+  EXPECT_THROW(
+      (void)game_matrix_from_json(json::parse(R"({"name": "chess"})")),
+      invariant_error);
+  EXPECT_THROW(
+      (void)update_rule_from_json(json::parse(R"({"name": "replicate"})")),
+      invariant_error);
+  EXPECT_THROW((void)game_matrix_from_json(json::parse(
+                   R"({"name": "hawk-dove", "value": 2.0})")),
+               invariant_error);
+  EXPECT_THROW((void)update_rule_from_json(json::parse(
+                   R"({"name": "logit", "temperature": 0.5, "beta": 1.0})")),
+               invariant_error);
+}
+
+// --- bit-exact resume across all four engines -----------------------------
+
+const char* igt_recipe_text() {
+  return R"({"protocol": {"name": "igt",
+                          "params": {"k": 3, "discipline": "one_way"}},
+    "initial_counts": [60, 60, 60, 60, 60], "sampling": "distinct"})";
+}
+
+const char* hawk_dove_recipe_text() {
+  return R"({"protocol": {"name": "matrix-game",
+                          "params": {"game": {"name": "hawk-dove",
+                                              "value": 2.0, "cost": 3.0},
+                                     "rule": {"name": "logit",
+                                              "temperature": 0.4},
+                                     "discipline": "two_way"}},
+    "initial_counts": [160, 140], "sampling": "distinct"})";
+}
+
+const char* rumor_recipe_text() {
+  return R"({"protocol": {"name": "rumor", "params": {}},
+    "initial_counts": [280, 20], "sampling": "distinct"})";
+}
+
+// Runs the saved/restored trajectory against the uninterrupted twin. Both
+// runs use the same snapshot cadence, so the run() chunk schedule — part of
+// the draw schedule for the aggregated engines — is identical; the
+// checkpoint sits at a chunk boundary (t_checkpoint a multiple of cadence).
+void expect_bit_exact_resume(const std::string& recipe_text, engine_kind kind,
+                             std::uint64_t seed) {
+  constexpr std::uint64_t t_checkpoint = 4000;
+  constexpr std::uint64_t t_total = 9000;
+  constexpr std::uint64_t cadence = 1000;
+
+  const sim_recipe recipe = sim_recipe::from_json(json::parse(recipe_text));
+
+  rng gen_full(seed);
+  const auto full = recipe.spec().make_engine(kind, gen_full);
+  const auto full_snaps = full->run_with_snapshots(t_total, cadence);
+
+  rng gen_cut(seed);
+  const auto cut = recipe.spec().make_engine(kind, gen_cut);
+  const auto before = cut->run_with_snapshots(t_checkpoint, cadence);
+
+  // Through bytes, as a fresh process would read the file.
+  const std::string file = save_checkpoint(recipe, *cut).dump_string();
+  restored_sim resumed = restore_checkpoint(json::parse(file));
+  ASSERT_EQ(resumed.engine->kind(), kind);
+  ASSERT_EQ(resumed.engine->interactions(), t_checkpoint);
+  const auto after =
+      resumed.engine->run_with_snapshots(t_total - t_checkpoint, cadence);
+
+  ASSERT_EQ(before.size() + after.size(), full_snaps.size());
+  for (std::size_t i = 0; i < full_snaps.size(); ++i) {
+    const auto& got =
+        i < before.size() ? before[i] : after[i - before.size()];
+    EXPECT_EQ(got.interactions, full_snaps[i].interactions);
+    EXPECT_EQ(got.counts, full_snaps[i].counts)
+        << engine_kind_name(kind) << " diverged at snapshot " << i;
+  }
+  // The resumed engine's *entire* state — RNG position included — matches
+  // the uninterrupted twin's.
+  EXPECT_EQ(resumed.engine->save_state(), full->save_state());
+}
+
+TEST(Checkpoint, BitExactResumeIgt) {
+  for (const auto kind : all_kinds) {
+    expect_bit_exact_resume(igt_recipe_text(), kind, 501);
+  }
+}
+
+TEST(Checkpoint, BitExactResumeHawkDoveLogit) {
+  for (const auto kind : all_kinds) {
+    expect_bit_exact_resume(hawk_dove_recipe_text(), kind, 502);
+  }
+}
+
+TEST(Checkpoint, BitExactResumeRumor) {
+  for (const auto kind : all_kinds) {
+    expect_bit_exact_resume(rumor_recipe_text(), kind, 503);
+  }
+}
+
+// The multibatch engine's rounds span ~sqrt(n) interactions, so a run()
+// budget routinely truncates a round mid-flight; the carry (pending free
+// pairs + the unresolved collision split) must survive the checkpoint.
+TEST(Checkpoint, MultibatchResumesMidResidualRound) {
+  const sim_recipe recipe =
+      sim_recipe::from_json(json::parse(rumor_recipe_text()));
+  constexpr std::uint64_t chunk = 7;  // far below a round length at n=300
+
+  rng gen_full(604);
+  const auto full = recipe.spec().make_engine(engine_kind::multibatch,
+                                              gen_full);
+  rng gen_cut(604);
+  const auto cut = recipe.spec().make_engine(engine_kind::multibatch,
+                                             gen_cut);
+
+  // Advance both twins in lockstep until the cut engine is mid-round with
+  // free pairs still pending.
+  const auto* mb = dynamic_cast<const multibatch_engine*>(cut.get());
+  ASSERT_NE(mb, nullptr);
+  bool found = false;
+  for (int i = 0; i < 200 && !found; ++i) {
+    full->run(chunk);
+    cut->run(chunk);
+    found = mb->residual_free() > 0;
+  }
+  ASSERT_TRUE(found) << "never saw a truncated round with pending pairs";
+  ASSERT_TRUE(mb->mid_round());
+
+  const std::string file = save_checkpoint(recipe, *cut).dump_string();
+  restored_sim resumed = restore_checkpoint(json::parse(file));
+  const auto* rmb =
+      dynamic_cast<const multibatch_engine*>(resumed.engine.get());
+  ASSERT_NE(rmb, nullptr);
+  EXPECT_EQ(rmb->residual_free(), mb->residual_free());
+  EXPECT_TRUE(rmb->mid_round());
+
+  // Identical run() schedules from here on: the continued trajectory must
+  // match the uninterrupted twin draw for draw.
+  for (int i = 0; i < 50; ++i) {
+    full->run(chunk);
+    resumed.engine->run(chunk);
+    ASSERT_EQ(resumed.engine->interactions(), full->interactions());
+    const auto a = full->census();
+    const auto b = resumed.engine->census();
+    for (agent_state s = 0; s < a.num_state_kinds(); ++s) {
+      ASSERT_EQ(b.count(s), a.count(s)) << "state " << s << " at chunk " << i;
+    }
+  }
+  EXPECT_EQ(resumed.engine->save_state(), full->save_state());
+}
+
+// --- snapshot round trip and strictness -----------------------------------
+
+TEST(Checkpoint, SnapshotIsAFixedPointOfRestore) {
+  const sim_recipe recipe =
+      sim_recipe::from_json(json::parse(igt_recipe_text()));
+  for (const auto kind : all_kinds) {
+    rng gen(705);
+    const auto engine = recipe.spec().make_engine(kind, gen);
+    engine->run(3137);  // deliberately not a round/batch boundary
+    const json snapshot = engine->save_state();
+    EXPECT_EQ(json::parse(snapshot.dump_string()), snapshot);
+
+    rng scratch(0);
+    const auto fresh = recipe.spec().make_engine(kind, scratch);
+    fresh->restore_state(snapshot);
+    EXPECT_EQ(fresh->save_state(), snapshot) << engine_kind_name(kind);
+    EXPECT_EQ(fresh->interactions(), engine->interactions());
+  }
+}
+
+TEST(Checkpoint, RestoreRejectsTamperedSnapshots) {
+  const sim_recipe recipe =
+      sim_recipe::from_json(json::parse(rumor_recipe_text()));
+  rng gen(806);
+  const auto engine = recipe.spec().make_engine(engine_kind::census, gen);
+  engine->run(500);
+  const json good = engine->save_state();
+
+  const auto fresh_engine = [&recipe](engine_kind kind) {
+    rng scratch(0);
+    return recipe.spec().make_engine(kind, scratch);
+  };
+
+  {  // Foreign engine name.
+    auto e = fresh_engine(engine_kind::batched);
+    EXPECT_THROW(e->restore_state(good), invariant_error);
+  }
+  {  // Unknown state version.
+    json bad = good;
+    bad["state_version"] = std::uint64_t{99};
+    auto e = fresh_engine(engine_kind::census);
+    EXPECT_THROW(e->restore_state(bad), invariant_error);
+  }
+  {  // Unknown key.
+    json bad = good;
+    bad["surprise"] = std::uint64_t{1};
+    auto e = fresh_engine(engine_kind::census);
+    EXPECT_THROW(e->restore_state(bad), invariant_error);
+  }
+  {  // All-zero RNG state (corrupt).
+    json bad = good;
+    bad["rng"] = json_uint_array({0, 0, 0, 0});
+    auto e = fresh_engine(engine_kind::census);
+    EXPECT_THROW(e->restore_state(bad), invariant_error);
+  }
+  {  // Census total inconsistent with the spec's population.
+    json bad = good;
+    bad["counts"] = json_uint_array({1, 1});
+    auto e = fresh_engine(engine_kind::census);
+    EXPECT_THROW(e->restore_state(bad), invariant_error);
+  }
+  {  // Unsupported outer schema version.
+    json file = save_checkpoint(recipe, *engine);
+    file["schema_version"] = std::uint64_t{2};
+    EXPECT_THROW((void)restore_checkpoint(file), invariant_error);
+  }
+}
+
+// --- resumable sweeps -----------------------------------------------------
+
+TEST(ResumableSweep, ResumesEveryReplicaBitExactly) {
+  constexpr std::uint64_t master_seed = 907;
+  constexpr std::size_t replicas = 3;
+  constexpr std::uint64_t horizon = 6000;
+  constexpr std::uint64_t chunk = 1500;
+
+  const auto make = [] {
+    return sim_recipe::from_json(json::parse(hawk_dove_recipe_text()));
+  };
+
+  resumable_sweep uninterrupted(make(), engine_kind::batched, master_seed,
+                                replicas, horizon, 2);
+  while (uninterrupted.advance(chunk)) {
+  }
+
+  resumable_sweep first_leg(make(), engine_kind::batched, master_seed,
+                            replicas, horizon, 2);
+  first_leg.advance(chunk);
+  const std::string file = first_leg.save().dump_string();
+
+  resumable_sweep second_leg = resumable_sweep::restore(json::parse(file), 2);
+  EXPECT_EQ(second_leg.replicas(), replicas);
+  EXPECT_EQ(second_leg.master_seed(), master_seed);
+  EXPECT_EQ(second_leg.horizon(), horizon);
+  EXPECT_EQ(second_leg.kind(), engine_kind::batched);
+  while (second_leg.advance(chunk)) {
+  }
+
+  ASSERT_TRUE(uninterrupted.finished());
+  ASSERT_TRUE(second_leg.finished());
+  for (std::size_t i = 0; i < replicas; ++i) {
+    EXPECT_EQ(second_leg.replica(i).interactions(), horizon);
+    EXPECT_EQ(second_leg.replica(i).save_state(),
+              uninterrupted.replica(i).save_state())
+        << "replica " << i;
+  }
+}
+
+TEST(ResumableSweep, MatchesBatchRunnerStreamLaw) {
+  // Replica i of a sweep must see exactly the trajectory a replicate_* body
+  // building spec.make_engine(kind, gen) from make_stream_rng(master, i)
+  // would — the sweep is the checkpointable form of the same computation.
+  constexpr std::uint64_t master_seed = 31;
+  const sim_recipe recipe =
+      sim_recipe::from_json(json::parse(rumor_recipe_text()));
+  resumable_sweep sweep(
+      sim_recipe::from_json(json::parse(rumor_recipe_text())),
+      engine_kind::census, master_seed, 2, 2000, 1);
+  while (sweep.advance(500)) {
+  }
+  for (std::uint64_t i = 0; i < 2; ++i) {
+    rng gen = make_stream_rng(master_seed, i);
+    const auto twin = recipe.spec().make_engine(engine_kind::census, gen);
+    twin->run(2000);
+    EXPECT_EQ(sweep.replica(i).save_state(), twin->save_state())
+        << "replica " << i;
+  }
+}
+
+}  // namespace
+}  // namespace ppg

@@ -141,12 +141,14 @@ TEST(Simulator, RunUntilStopsImmediatelyWhenConverged) {
   EXPECT_EQ(steps, 0u);
 }
 
-TEST(Simulator, PopulationPredicateShimStillWorks) {
-  // Deprecated path: population-based predicates via run_until_agents.
+TEST(Simulator, CensusPredicateSeesPerAgentConvergence) {
+  // Ported off the retired run_until_agents shim: every predicate the
+  // per-agent view could express over an anonymous population is a census
+  // predicate, evaluated identically on every engine.
   const max_protocol proto;
   simulation sim(proto, population({0, 1, 2, 3}, 4), rng(412));
-  const auto steps = sim.run_until_agents(
-      [](const population& pop) { return pop.count(3) == pop.size(); },
+  const auto steps = sim.run_until(
+      [](const census_view& c) { return c.count(3) == c.population_size(); },
       100000);
   EXPECT_LT(steps, 100000u);
   EXPECT_EQ(sim.agents().count(3), 4u);

@@ -44,7 +44,9 @@ class resumable_sweep {
   /// interactions; returns whether any replica is still unfinished. The
   /// chunk schedule is part of the draw schedule for the aggregated
   /// engines, so a resumed sweep must keep the same chunk size to stay
-  /// bit-identical to an uninterrupted one.
+  /// bit-identical to an uninterrupted one — the same bounded-chunk
+  /// discipline ppg-serve's fair_scheduler (serve/scheduler.hpp) applies
+  /// to session advances, for the same reason.
   bool advance(std::uint64_t chunk);
 
   [[nodiscard]] bool finished() const;

@@ -6,15 +6,19 @@ namespace ppg {
 
 batched_engine::batched_engine(const protocol& proto,
                                std::vector<std::uint64_t> initial_counts,
-                               rng gen, pair_sampling sampling)
-    : kernel_(proto), counts_(std::move(initial_counts)), n_(0), gen_(gen) {
+                               rng gen, pair_sampling sampling,
+                               std::shared_ptr<const kernel_table> kernel)
+    : kernel_(kernel ? std::move(kernel)
+                       : std::make_shared<const kernel_table>(proto)), counts_(std::move(initial_counts)), n_(0), gen_(gen) {
   PPG_CHECK(sampling == pair_sampling::distinct,
             "batched engine supports pair_sampling::distinct only; use the "
             "census engine for with_replacement sampling");
-  PPG_CHECK(counts_.size() >= kernel_.num_states(),
+  PPG_CHECK(kernel_->num_states() == proto.num_states(),
+            "batched engine: precompiled kernel does not match the protocol");
+  PPG_CHECK(counts_.size() >= kernel_->num_states(),
             "census state space smaller than the protocol's");
   for (std::size_t s = 0; s < counts_.size(); ++s) {
-    PPG_CHECK(s < kernel_.num_states() || counts_[s] == 0,
+    PPG_CHECK(s < kernel_->num_states() || counts_[s] == 0,
               "batched engine: agents in states outside the protocol's space");
     n_ += counts_[s];
   }
@@ -22,14 +26,14 @@ batched_engine::batched_engine(const protocol& proto,
   // c_u * c_v must not overflow: n^2 < 2^63 keeps every weight and the
   // non-identity mass (at most n(n-1) total) in range.
   PPG_CHECK(n_ <= 3'000'000'000ull, "batched engine caps n at 3e9");
-  const std::size_t q = kernel_.num_states();
+  const std::size_t q = kernel_->num_states();
   responder_in_row_.assign(q * q, 0);
   is_active_row_.assign(q, 0);
   rows_with_responder_.assign(q, {});
   for (agent_state u = 0; u < q; ++u) {
     bool row_active = false;
     for (agent_state v = 0; v < q; ++v) {
-      if (kernel_.identity(u, v)) continue;
+      if (kernel_->identity(u, v)) continue;
       row_active = true;
       responder_in_row_[u * q + v] = 1;
       rows_with_responder_[v].push_back(u);
@@ -43,7 +47,7 @@ batched_engine::batched_engine(const protocol& proto,
 }
 
 void batched_engine::rebuild_row_sums() {
-  const std::size_t q = kernel_.num_states();
+  const std::size_t q = kernel_->num_states();
   row_responder_sum_.assign(q, 0);
   for (agent_state u = 0; u < q; ++u) {
     for (agent_state v = 0; v < q; ++v) {
@@ -78,7 +82,7 @@ void batched_engine::restore_state(const json& snapshot) {
             "batched snapshot: state-space width mismatch");
   std::uint64_t total = 0;
   for (std::size_t s = 0; s < counts.size(); ++s) {
-    PPG_CHECK(s < kernel_.num_states() || counts[s] == 0,
+    PPG_CHECK(s < kernel_->num_states() || counts[s] == 0,
               "batched snapshot: agents in states outside the protocol's "
               "space");
     total += counts[s];
@@ -96,7 +100,7 @@ void batched_engine::restore_state(const json& snapshot) {
 }
 
 std::uint64_t batched_engine::row_weight(std::size_t row) const {
-  const std::size_t q = kernel_.num_states();
+  const std::size_t q = kernel_->num_states();
   const std::uint64_t self = responder_in_row_[row * q + row];
   return counts_[row] * (row_responder_sum_[row] - self);
 }
@@ -111,7 +115,7 @@ void batched_engine::add_count(agent_state state, std::int64_t delta) {
   // the new count). One extra accumulate inside the loop the responder
   // sums already needed, one multiply at the end — no per-batch re-sum
   // over active_rows_.
-  const std::size_t q = kernel_.num_states();
+  const std::size_t q = kernel_->num_states();
   std::int64_t scaled = 0;
   if (is_active_row_[state] != 0) {
     scaled = static_cast<std::int64_t>(row_responder_sum_[state] -
@@ -129,7 +133,7 @@ void batched_engine::add_count(agent_state state, std::int64_t delta) {
 }
 
 void batched_engine::apply_active(std::uint64_t active) {
-  const std::size_t q = kernel_.num_states();
+  const std::size_t q = kernel_->num_states();
   std::uint64_t target = gen_.next_below(active);
   for (const auto u : active_rows_) {
     const std::uint64_t w = row_weight(u);
@@ -150,7 +154,7 @@ void batched_engine::apply_active(std::uint64_t active) {
         r -= c;
         continue;
       }
-      const auto [next_initiator, next_responder] = kernel_.sample(u, v, gen_);
+      const auto [next_initiator, next_responder] = kernel_->sample(u, v, gen_);
       add_count(u, -1);
       add_count(v, -1);
       add_count(next_initiator, 1);

@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "ppg/pp/engine.hpp"
@@ -32,9 +33,15 @@ class batched_engine final : public sim_engine {
   /// Same contract as census_engine, but restricted to
   /// pair_sampling::distinct (the standard PP scheduler). Population sizes
   /// up to ~3e9 are supported: pair weights c_u * c_v must fit in 64 bits.
+  /// When `kernel` is non-null the engine uses that precompiled table
+  /// instead of compiling its own — the ppg-serve warm-cache path; it must
+  /// have been compiled from a protocol with the same canonical form (the
+  /// constructor checks the state-space size, the caller owns semantic
+  /// equality). Null compiles from `proto` as before.
   batched_engine(const protocol& proto,
                  std::vector<std::uint64_t> initial_counts, rng gen,
-                 pair_sampling sampling = pair_sampling::distinct);
+                 pair_sampling sampling = pair_sampling::distinct,
+                               std::shared_ptr<const kernel_table> kernel = nullptr);
 
   void step() override;
   void run(std::uint64_t steps) override;
@@ -85,7 +92,7 @@ class batched_engine final : public sim_engine {
   /// non-identity weight active_weight_.
   void add_count(agent_state state, std::int64_t delta);
 
-  kernel_table kernel_;
+  std::shared_ptr<const kernel_table> kernel_;
   std::vector<std::uint64_t> counts_;
   std::uint64_t n_;
   rng gen_;

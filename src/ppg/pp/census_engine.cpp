@@ -10,16 +10,20 @@ constexpr agent_state no_excluded_state = static_cast<agent_state>(-1);
 
 census_engine::census_engine(const protocol& proto,
                              std::vector<std::uint64_t> initial_counts,
-                             rng gen, pair_sampling sampling)
-    : kernel_(proto),
+                             rng gen, pair_sampling sampling,
+                             std::shared_ptr<const kernel_table> kernel)
+    : kernel_(kernel ? std::move(kernel)
+                       : std::make_shared<const kernel_table>(proto)),
       counts_(std::move(initial_counts)),
       n_(0),
       gen_(gen),
       sampling_(sampling) {
-  PPG_CHECK(counts_.size() >= kernel_.num_states(),
+  PPG_CHECK(kernel_->num_states() == proto.num_states(),
+            "census engine: precompiled kernel does not match the protocol");
+  PPG_CHECK(counts_.size() >= kernel_->num_states(),
             "census state space smaller than the protocol's");
   for (std::size_t s = 0; s < counts_.size(); ++s) {
-    PPG_CHECK(s < kernel_.num_states() || counts_[s] == 0,
+    PPG_CHECK(s < kernel_->num_states() || counts_[s] == 0,
               "census engine: agents in states outside the protocol's space");
     n_ += counts_[s];
   }
@@ -28,7 +32,7 @@ census_engine::census_engine(const protocol& proto,
 
 agent_state census_engine::locate(std::uint64_t target,
                                   agent_state excluded) const {
-  const std::size_t q = kernel_.num_states();
+  const std::size_t q = kernel_->num_states();
   for (std::size_t s = 0; s < q; ++s) {
     const std::uint64_t c = counts_[s] - (s == excluded ? 1u : 0u);
     if (target < c) return static_cast<agent_state>(s);
@@ -44,7 +48,7 @@ void census_engine::step() {
     // agent twice; only the initiator update applies, mirroring the agent
     // engine's self-pair handling.
     const agent_state u = locate(gen_.next_below(n_), no_excluded_state);
-    const auto [next_initiator, next_responder] = kernel_.sample(u, u, gen_);
+    const auto [next_initiator, next_responder] = kernel_->sample(u, u, gen_);
     (void)next_responder;
     --counts_[u];
     ++counts_[next_initiator];
@@ -56,7 +60,7 @@ void census_engine::step() {
   // — the census marginal of a uniform ordered agent pair.
   const agent_state u = locate(gen_.next_below(n_), no_excluded_state);
   const agent_state v = locate(gen_.next_below(n_ - 1), u);
-  const auto [next_initiator, next_responder] = kernel_.sample(u, v, gen_);
+  const auto [next_initiator, next_responder] = kernel_->sample(u, v, gen_);
   --counts_[u];
   --counts_[v];
   ++counts_[next_initiator];
@@ -81,7 +85,7 @@ void census_engine::restore_state(const json& snapshot) {
             "census snapshot: state-space width mismatch");
   std::uint64_t total = 0;
   for (std::size_t s = 0; s < counts.size(); ++s) {
-    PPG_CHECK(s < kernel_.num_states() || counts[s] == 0,
+    PPG_CHECK(s < kernel_->num_states() || counts[s] == 0,
               "census snapshot: agents in states outside the protocol's "
               "space");
     total += counts[s];

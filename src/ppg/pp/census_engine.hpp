@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "ppg/pp/engine.hpp"
@@ -21,9 +22,15 @@ class census_engine final : public sim_engine {
   /// length is the census width (may exceed the protocol's state count, but
   /// states outside the protocol's space must be empty). The protocol must
   /// expose a kernel and must outlive the engine.
+  /// When `kernel` is non-null the engine uses that precompiled table
+  /// instead of compiling its own — the ppg-serve warm-cache path; it must
+  /// have been compiled from a protocol with the same canonical form (the
+  /// constructor checks the state-space size, the caller owns semantic
+  /// equality). Null compiles from `proto` as before.
   census_engine(const protocol& proto,
                 std::vector<std::uint64_t> initial_counts, rng gen,
-                pair_sampling sampling = pair_sampling::distinct);
+                pair_sampling sampling = pair_sampling::distinct,
+                              std::shared_ptr<const kernel_table> kernel = nullptr);
 
   void step() override;
   void run(std::uint64_t steps) override;
@@ -48,7 +55,7 @@ class census_engine final : public sim_engine {
   [[nodiscard]] agent_state locate(std::uint64_t target,
                                    agent_state excluded) const;
 
-  kernel_table kernel_;
+  std::shared_ptr<const kernel_table> kernel_;
   std::vector<std::uint64_t> counts_;
   std::uint64_t n_;
   rng gen_;

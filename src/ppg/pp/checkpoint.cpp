@@ -52,6 +52,24 @@ json sim_recipe::to_json() const {
   return doc;
 }
 
+std::uint64_t json_fingerprint(const json& doc) {
+  // FNV-1a 64 over the canonical compact rendering. FNV is not collision-
+  // resistant against adversaries, but the fingerprint only keys a cache of
+  // kernels the server compiled itself — a collision costs correctness of
+  // nothing the client can observe beyond its own (rejected) recipe.
+  const std::string text = doc.dump_string(false);
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+std::uint64_t recipe_fingerprint(const sim_recipe& recipe) {
+  return json_fingerprint(recipe.to_json());
+}
+
 json save_checkpoint(const sim_recipe& recipe, const sim_engine& engine) {
   json checkpoint = json::object();
   checkpoint["schema_version"] = checkpoint_schema_version;
@@ -61,6 +79,11 @@ json save_checkpoint(const sim_recipe& recipe, const sim_engine& engine) {
 }
 
 restored_sim restore_checkpoint(const json& checkpoint) {
+  return restore_checkpoint(checkpoint, nullptr);
+}
+
+restored_sim restore_checkpoint(const json& checkpoint,
+                                std::shared_ptr<const kernel_table> kernel) {
   const char* where = "checkpoint";
   json_require_keys(checkpoint, {"schema_version", "spec", "engine"}, where);
   const std::uint64_t version =
@@ -74,10 +97,11 @@ restored_sim restore_checkpoint(const json& checkpoint) {
   const json& snapshot = json_require(checkpoint, "engine", where);
   const engine_kind kind = engine_kind_from_name(
       json_require_string(snapshot, "engine", "engine snapshot"));
+  if (kind == engine_kind::agent) kernel = nullptr;
   // The seed is irrelevant: restore_state overwrites the engine's whole
   // dynamical state, RNG position included.
   rng scratch(0);
-  auto engine = recipe.spec().make_engine(kind, scratch);
+  auto engine = recipe.spec().make_engine(kind, scratch, std::move(kernel));
   engine->restore_state(snapshot);
   return {std::move(recipe), std::move(engine)};
 }

@@ -77,6 +77,21 @@ class sim_recipe {
   std::optional<sim_spec> spec_;  ///< built against *proto_; set in ctor
 };
 
+/// Stable 64-bit FNV-1a hash of a JSON document's canonical compact form
+/// (dump_string(false)). Deterministic across platforms and processes —
+/// util/json's writer is byte-stable — so the value is a durable content
+/// key, not a per-process hash.
+[[nodiscard]] std::uint64_t json_fingerprint(const json& doc);
+
+/// Canonical fingerprint of a recipe: json_fingerprint(recipe.to_json()).
+/// Two recipes fingerprint equal iff their canonical JSON forms are byte
+/// identical — i.e. same protocol name + params, same initial census, same
+/// sampling — regardless of how the source documents were formatted. This
+/// is the ppg-serve session-spec identity; the serve kernel cache keys on
+/// the protocol subdocument alone (sessions differing only in census or
+/// sampling share a compiled kernel).
+[[nodiscard]] std::uint64_t recipe_fingerprint(const sim_recipe& recipe);
+
 /// The checkpoint document for one running engine:
 /// {"schema_version", "spec": recipe.to_json(), "engine": engine snapshot}.
 /// The engine must have been built from recipe.spec() (the snapshot is
@@ -97,5 +112,14 @@ struct restored_sim {
 /// state via restore_state. Throws ppg::invariant_error on any schema,
 /// version, or consistency violation.
 [[nodiscard]] restored_sim restore_checkpoint(const json& checkpoint);
+
+/// restore_checkpoint with a precompiled kernel for the engine (nullptr
+/// compiles fresh, identical to the one-argument form). The kernel must
+/// have been compiled from a protocol with the same canonical JSON form as
+/// the checkpoint's — ppg-serve guarantees this by keying its warm cache on
+/// json_fingerprint of the protocol subdocument. Ignored for the agent
+/// engine (which interprets the protocol directly).
+[[nodiscard]] restored_sim restore_checkpoint(
+    const json& checkpoint, std::shared_ptr<const kernel_table> kernel);
 
 }  // namespace ppg

@@ -236,20 +236,27 @@ simulation sim_spec::instantiate(rng& gen) const {
       gen.split(), sampling_);
 }
 
-std::unique_ptr<sim_engine> sim_spec::make_engine(engine_kind kind,
-                                                  rng& gen) const {
+std::unique_ptr<sim_engine> sim_spec::make_engine(
+    engine_kind kind, rng& gen,
+    std::shared_ptr<const kernel_table> kernel) const {
   switch (kind) {
     case engine_kind::agent:
+      PPG_CHECK(kernel == nullptr,
+                "the agent engine interprets the protocol directly and "
+                "takes no precompiled kernel");
       return std::make_unique<simulation>(instantiate(gen));
     case engine_kind::census:
       return std::make_unique<census_engine>(*proto_, initial_counts_,
-                                             gen.split(), sampling_);
+                                             gen.split(), sampling_,
+                                             std::move(kernel));
     case engine_kind::batched:
       return std::make_unique<batched_engine>(*proto_, initial_counts_,
-                                              gen.split(), sampling_);
+                                              gen.split(), sampling_,
+                                              std::move(kernel));
     case engine_kind::multibatch:
       return std::make_unique<multibatch_engine>(*proto_, initial_counts_,
-                                                 gen.split(), sampling_);
+                                                 gen.split(), sampling_,
+                                                 std::move(kernel));
   }
   PPG_CHECK(false, "unknown engine kind");
 }

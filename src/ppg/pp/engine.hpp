@@ -198,8 +198,16 @@ class sim_spec {
   /// trajectories. The census and batched engines require the protocol to
   /// expose a kernel; the batched engine additionally requires
   /// pair_sampling::distinct.
-  [[nodiscard]] std::unique_ptr<sim_engine> make_engine(engine_kind kind,
-                                                        rng& gen) const;
+  ///
+  /// A non-null `kernel` hands the census-level engines a precompiled
+  /// kernel table instead of compiling one from the protocol — the
+  /// ppg-serve warm-cache path; it never changes any draw (the table is
+  /// immutable shared data) and must match the protocol's canonical form.
+  /// The agent engine interprets the protocol directly and rejects a
+  /// precompiled kernel.
+  [[nodiscard]] std::unique_ptr<sim_engine> make_engine(
+      engine_kind kind, rng& gen,
+      std::shared_ptr<const kernel_table> kernel = nullptr) const;
 
   /// The per-agent initial condition; only available when the spec was
   /// constructed from a population.

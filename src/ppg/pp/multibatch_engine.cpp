@@ -28,15 +28,19 @@ agent_state locate(const std::vector<std::uint64_t>& pool,
 
 multibatch_engine::multibatch_engine(const protocol& proto,
                                      std::vector<std::uint64_t> initial_counts,
-                                     rng gen, pair_sampling sampling)
-    : kernel_(proto), counts_(std::move(initial_counts)), n_(0), gen_(gen) {
+                                     rng gen, pair_sampling sampling,
+                                     std::shared_ptr<const kernel_table> kernel)
+    : kernel_(kernel ? std::move(kernel)
+                       : std::make_shared<const kernel_table>(proto)), counts_(std::move(initial_counts)), n_(0), gen_(gen) {
   PPG_CHECK(sampling == pair_sampling::distinct,
             "multibatch engine supports pair_sampling::distinct only; use "
             "the census engine for with_replacement sampling");
-  PPG_CHECK(counts_.size() >= kernel_.num_states(),
+  PPG_CHECK(kernel_->num_states() == proto.num_states(),
+            "multibatch engine: precompiled kernel does not match the protocol");
+  PPG_CHECK(counts_.size() >= kernel_->num_states(),
             "census state space smaller than the protocol's");
   for (std::size_t s = 0; s < counts_.size(); ++s) {
-    PPG_CHECK(s < kernel_.num_states() || counts_[s] == 0,
+    PPG_CHECK(s < kernel_->num_states() || counts_[s] == 0,
               "multibatch engine: agents in states outside the protocol's "
               "space");
     n_ += counts_[s];
@@ -47,7 +51,7 @@ multibatch_engine::multibatch_engine(const protocol& proto,
   untouched_ = counts_;
   touched_.assign(counts_.size(), 0);
   untouched_total_ = n_;
-  const auto q = static_cast<std::uint64_t>(kernel_.num_states());
+  const auto q = static_cast<std::uint64_t>(kernel_->num_states());
   // Below ~4q^2 interactions the aggregate path's O(q^2) hypergeometric
   // table costs more than per-pair O(q) sampling, so short runs (small n:
   // the birthday law scales them as ~sqrt(n)) fall back to the sequential
@@ -94,10 +98,10 @@ void multibatch_engine::apply_pair_type(agent_state u, agent_state v,
                                         std::uint64_t m) {
   counts_[u] -= m;
   counts_[v] -= m;
-  const std::size_t support = kernel_.num_outcomes(u, v);
+  const std::size_t support = kernel_->num_outcomes(u, v);
   if (support == 1) {
     // Deterministic pair: no draws, mirroring every engine's fast path.
-    const outcome o = kernel_.outcome_at(u, v, 0);
+    const outcome o = kernel_->outcome_at(u, v, 0);
     counts_[o.initiator] += m;
     counts_[o.responder] += m;
     touched_[o.initiator] += m;
@@ -106,12 +110,12 @@ void multibatch_engine::apply_pair_type(agent_state u, agent_state v,
   }
   outcome_probs_.resize(support);
   for (std::size_t k = 0; k < support; ++k) {
-    outcome_probs_[k] = kernel_.outcome_at(u, v, k).probability;
+    outcome_probs_[k] = kernel_->outcome_at(u, v, k).probability;
   }
   const auto split = sample_multinomial(m, outcome_probs_, gen_);
   for (std::size_t k = 0; k < support; ++k) {
     if (split[k] == 0) continue;
-    const outcome o = kernel_.outcome_at(u, v, k);
+    const outcome o = kernel_->outcome_at(u, v, k);
     counts_[o.initiator] += split[k];
     counts_[o.responder] += split[k];
     touched_[o.initiator] += split[k];
@@ -138,7 +142,7 @@ void multibatch_engine::apply_free_aggregate(std::uint64_t free) {
     untouched_[s] -= responders[s];
   }
   untouched_total_ -= free;
-  const std::size_t q = kernel_.num_states();
+  const std::size_t q = kernel_->num_states();
   std::uint64_t remaining = free;
   for (std::size_t u = 0; u < q && remaining > 0; ++u) {
     if (initiators[u] == 0) continue;
@@ -162,7 +166,7 @@ void multibatch_engine::apply_free_sequential(std::uint64_t free) {
                no_excluded_state);
     const agent_state v =
         locate(untouched_, gen_.next_below(untouched_total_ - 1), u);
-    const auto [next_initiator, next_responder] = kernel_.sample(u, v, gen_);
+    const auto [next_initiator, next_responder] = kernel_->sample(u, v, gen_);
     --untouched_[u];
     --untouched_[v];
     untouched_total_ -= 2;
@@ -206,7 +210,7 @@ void multibatch_engine::resolve_collision() {
     responder_touched = true;
   }
   const auto [next_initiator, next_responder] =
-      kernel_.sample(initiator, responder, gen_);
+      kernel_->sample(initiator, responder, gen_);
   --(initiator_touched ? touched_ : untouched_)[initiator];
   --(responder_touched ? touched_ : untouched_)[responder];
   untouched_total_ -=
@@ -288,7 +292,7 @@ void multibatch_engine::restore_state(const json& snapshot) {
   std::uint64_t total = 0;
   std::uint64_t untouched_sum = 0;
   for (std::size_t s = 0; s < counts.size(); ++s) {
-    PPG_CHECK(s < kernel_.num_states() || counts[s] == 0,
+    PPG_CHECK(s < kernel_->num_states() || counts[s] == 0,
               "multibatch snapshot: agents in states outside the protocol's "
               "space");
     PPG_CHECK(untouched[s] + touched[s] == counts[s],

@@ -37,6 +37,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "ppg/pp/engine.hpp"
@@ -49,9 +50,15 @@ class multibatch_engine final : public sim_engine {
   /// Same contract as the batched engine: a kernel-bearing protocol,
   /// pair_sampling::distinct only, and n capped at ~3e9 so pair weights
   /// c_u * c_v fit in 64 bits.
+  /// When `kernel` is non-null the engine uses that precompiled table
+  /// instead of compiling its own — the ppg-serve warm-cache path; it must
+  /// have been compiled from a protocol with the same canonical form (the
+  /// constructor checks the state-space size, the caller owns semantic
+  /// equality). Null compiles from `proto` as before.
   multibatch_engine(const protocol& proto,
                     std::vector<std::uint64_t> initial_counts, rng gen,
-                    pair_sampling sampling = pair_sampling::distinct);
+                    pair_sampling sampling = pair_sampling::distinct,
+                                  std::shared_ptr<const kernel_table> kernel = nullptr);
 
   void step() override;
   void run(std::uint64_t steps) override;
@@ -130,7 +137,7 @@ class multibatch_engine final : public sim_engine {
   /// Returns all touched agents to the untouched pool (end of round).
   void merge_touched();
 
-  kernel_table kernel_;
+  std::shared_ptr<const kernel_table> kernel_;
   std::vector<std::uint64_t> counts_;     ///< current census
   std::vector<std::uint64_t> untouched_;  ///< untouched agents by state
   std::vector<std::uint64_t> touched_;    ///< touched agents by current state

@@ -1,0 +1,34 @@
+#include "ppg/serve/kernel_cache.hpp"
+
+namespace ppg {
+
+kernel_cache::lookup kernel_cache::get_or_compile(std::uint64_t key,
+                                                  const protocol& proto) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto found = table_.find(key);
+  if (found != table_.end()) {
+    ++hits_;
+    return {found->second, true};
+  }
+  ++misses_;
+  auto kernel = std::make_shared<const kernel_table>(proto);
+  table_.emplace(key, kernel);
+  return {std::move(kernel), false};
+}
+
+std::size_t kernel_cache::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return table_.size();
+}
+
+std::uint64_t kernel_cache::hits() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::uint64_t kernel_cache::misses() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+}  // namespace ppg

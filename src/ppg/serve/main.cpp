@@ -1,0 +1,90 @@
+// ppg-serve: the simulation-session daemon. Binds 127.0.0.1 (loopback
+// only), prints the listening address, and serves until killed. See
+// DESIGN.md §10 and README "Running the service".
+#include <csignal>
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "ppg/serve/server.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t interrupted = 0;
+
+void handle_signal(int) { interrupted = 1; }
+
+[[noreturn]] void usage_error(const std::string& message) {
+  std::cerr << "ppg-serve: " << message << "\n"
+            << "usage: ppg-serve [--port N] [--threads N] [--chunk N]\n"
+            << "                 [--connection-threads N] [--max-body BYTES]\n"
+            << "  --port 0 (default) picks an ephemeral port and prints it\n";
+  std::exit(2);
+}
+
+std::uint64_t parse_count(const std::string& flag, const char* text) {
+  if (text == nullptr) usage_error(flag + " needs a value");
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') {
+    usage_error(flag + ": '" + text + "' is not a number");
+  }
+  return value;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ppg::serve_config config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const char* value = i + 1 < argc ? argv[i + 1] : nullptr;
+    if (flag == "--port") {
+      config.port = static_cast<std::uint16_t>(parse_count(flag, value));
+      ++i;
+    } else if (flag == "--threads") {
+      config.threads = static_cast<std::size_t>(parse_count(flag, value));
+      ++i;
+    } else if (flag == "--chunk") {
+      config.chunk = parse_count(flag, value);
+      if (config.chunk == 0) usage_error("--chunk must be positive");
+      ++i;
+    } else if (flag == "--connection-threads") {
+      config.connection_threads =
+          static_cast<std::size_t>(parse_count(flag, value));
+      ++i;
+    } else if (flag == "--max-body") {
+      config.max_body_bytes =
+          static_cast<std::size_t>(parse_count(flag, value));
+      ++i;
+    } else {
+      usage_error("unknown flag '" + flag + "'");
+    }
+  }
+
+  ppg::serve_app app(config);
+  ppg::http_server server(app, config);
+  try {
+    server.start();
+  } catch (const std::exception& error) {
+    std::cerr << "ppg-serve: " << error.what() << "\n";
+    return 1;
+  }
+
+  // The exact line scripts/check_serve.py waits for before connecting.
+  std::cout << "ppg-serve listening on 127.0.0.1:" << server.port()
+            << std::endl;
+
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+  sigset_t mask;
+  sigemptyset(&mask);
+  while (interrupted == 0) {
+    sigsuspend(&mask);  // park until SIGINT/SIGTERM; connections run on
+                        // their own threads
+  }
+  std::cout << "ppg-serve: shutting down\n";
+  server.stop();
+  return 0;
+}

@@ -1,0 +1,76 @@
+#include "ppg/serve/scheduler.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+
+#include "ppg/util/error.hpp"
+
+namespace ppg {
+namespace {
+
+/// One in-flight advance: the engine, the remaining budget, and the
+/// completion latch the calling thread blocks on. The job lives on the
+/// caller's stack — pump() re-submits itself until the budget is spent,
+/// then signals done, and only then does advance() return.
+struct advance_job {
+  sim_engine* engine = nullptr;
+  std::uint64_t remaining = 0;
+  std::uint64_t chunk = 0;
+  std::uint64_t slices = 0;
+
+  std::mutex mutex;
+  std::condition_variable finished;
+  bool done = false;
+  std::exception_ptr error;
+};
+
+void pump(thread_pool& pool, advance_job& job) {
+  pool.submit([&pool, &job] {
+    try {
+      const std::uint64_t slice = std::min(job.chunk, job.remaining);
+      job.engine->run(slice);
+      job.remaining -= slice;
+      ++job.slices;
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(job.mutex);
+      job.error = std::current_exception();
+      job.done = true;
+      job.finished.notify_one();
+      return;
+    }
+    if (job.remaining > 0) {
+      // Back of the FIFO queue: every other waiting session's slice runs
+      // before this session's next one — the fairness mechanism.
+      pump(pool, job);
+      return;
+    }
+    const std::lock_guard<std::mutex> lock(job.mutex);
+    job.done = true;
+    job.finished.notify_one();
+  });
+}
+
+}  // namespace
+
+fair_scheduler::fair_scheduler(std::size_t threads, std::uint64_t chunk)
+    : chunk_(chunk), pool_(threads) {
+  PPG_CHECK(chunk_ > 0, "fair_scheduler: chunk must be positive");
+}
+
+std::uint64_t fair_scheduler::advance(sim_engine& engine,
+                                      std::uint64_t budget) {
+  if (budget == 0) return 0;
+  advance_job job;
+  job.engine = &engine;
+  job.remaining = budget;
+  job.chunk = chunk_;
+  pump(pool_, job);
+  std::unique_lock<std::mutex> lock(job.mutex);
+  job.finished.wait(lock, [&job] { return job.done; });
+  if (job.error) std::rethrow_exception(job.error);
+  return job.slices;
+}
+
+}  // namespace ppg

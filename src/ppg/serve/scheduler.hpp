@@ -1,0 +1,49 @@
+// The fair cooperative scheduler: advances sessions by slicing each
+// interaction budget into bounded chunks and running every chunk as one
+// thread_pool task, re-submitted at the FIFO queue's tail. With more
+// sessions than workers this yields round-robin interleaving — no session
+// monopolizes a worker for its whole budget — while each session's chunks
+// still run strictly in order on its own engine.
+//
+// Determinism contract: slicing is engine-visible only through run() call
+// boundaries, and every engine's trajectory is a pure function of its own
+// run() schedule (engines draw from private RNG streams; see DESIGN.md §9).
+// advance(engine, B) always issues the fixed schedule
+//   run(min(chunk, B)), run(min(chunk, B - chunk)), ...
+// regardless of what other sessions are in flight, so an interleaved
+// multi-session run is bit-identical to running each session solo with the
+// same chunked schedule — the property test_serve pins.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "ppg/pp/engine.hpp"
+#include "ppg/util/thread_pool.hpp"
+
+namespace ppg {
+
+class fair_scheduler {
+ public:
+  /// `threads` as for thread_pool (0 = hardware concurrency); `chunk` is
+  /// the per-slice interaction bound.
+  explicit fair_scheduler(std::size_t threads = 0,
+                          std::uint64_t chunk = std::uint64_t{1} << 16);
+
+  /// Advances `engine` by exactly `budget` interactions in chunked slices,
+  /// blocking until done; returns the number of slices executed. The caller
+  /// must hold the engine exclusively for the whole call (ppg-serve holds
+  /// the session lock). Exceptions thrown by the engine are rethrown here.
+  std::uint64_t advance(sim_engine& engine, std::uint64_t budget);
+
+  [[nodiscard]] std::uint64_t chunk() const { return chunk_; }
+  [[nodiscard]] std::size_t threads() const { return pool_.size(); }
+  [[nodiscard]] std::size_t queued() const { return pool_.queued(); }
+  [[nodiscard]] std::size_t active() const { return pool_.active(); }
+
+ private:
+  std::uint64_t chunk_;
+  thread_pool pool_;
+};
+
+}  // namespace ppg

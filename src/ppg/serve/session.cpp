@@ -1,0 +1,138 @@
+#include "ppg/serve/session.hpp"
+
+#include <utility>
+
+#include "ppg/serve/http.hpp"
+#include "ppg/util/error.hpp"
+
+namespace ppg {
+namespace {
+
+/// The kernel-cache key for a recipe: the fingerprint of its *protocol*
+/// subdocument only, so sessions differing in census, sampling, or seed
+/// still share the compiled kernel.
+std::uint64_t protocol_key(const json& recipe_doc) {
+  return json_fingerprint(
+      json_require(recipe_doc, "protocol", "sim_recipe"));
+}
+
+}  // namespace
+
+const char* session_state_name(session_state state) {
+  switch (state) {
+    case session_state::created:
+      return "created";
+    case session_state::advancing:
+      return "advancing";
+    case session_state::idle:
+      return "idle";
+    case session_state::destroyed:
+      return "destroyed";
+  }
+  return "unknown";
+}
+
+std::shared_ptr<serve_session> session_table::create(const json& recipe_doc,
+                                                     engine_kind kind,
+                                                     std::uint64_t seed) {
+  sim_recipe recipe = sim_recipe::from_json(recipe_doc);
+  const std::uint64_t fingerprint = recipe_fingerprint(recipe);
+
+  std::shared_ptr<const kernel_table> kernel;
+  bool warm = false;
+  if (kind != engine_kind::agent && recipe.proto().has_kernel()) {
+    auto found = kernels_->get_or_compile(protocol_key(recipe.to_json()),
+                                          recipe.proto());
+    kernel = std::move(found.kernel);
+    warm = found.hit;
+  }
+
+  rng gen(seed);
+  auto session =
+      std::make_shared<serve_session>("", std::move(recipe), kind, seed);
+  session->fingerprint = fingerprint;
+  session->kernel_cache_hit = warm;
+  session->engine =
+      session->recipe.spec().make_engine(kind, gen, std::move(kernel));
+  session->interactions.store(session->engine->interactions());
+  return insert(std::move(session));
+}
+
+std::shared_ptr<serve_session> session_table::restore(const json& checkpoint) {
+  // Resolve the shared kernel *before* restore_checkpoint so a restored
+  // session joins the same warm-cache economy as a created one.
+  const json& spec = json_require(checkpoint, "spec", "checkpoint");
+  const json& snapshot = json_require(checkpoint, "engine", "checkpoint");
+  const engine_kind kind = engine_kind_from_name(
+      json_require_string(snapshot, "engine", "engine snapshot"));
+
+  std::shared_ptr<const kernel_table> kernel;
+  bool warm = false;
+  if (kind != engine_kind::agent) {
+    // A probe recipe only to reach the protocol object for compilation; the
+    // session's own recipe is rebuilt by restore_checkpoint below.
+    const sim_recipe probe = sim_recipe::from_json(spec);
+    if (probe.proto().has_kernel()) {
+      auto found =
+          kernels_->get_or_compile(protocol_key(spec), probe.proto());
+      kernel = std::move(found.kernel);
+      warm = found.hit;
+    }
+  }
+
+  restored_sim restored = restore_checkpoint(checkpoint, std::move(kernel));
+  const std::uint64_t fingerprint = recipe_fingerprint(restored.recipe);
+  auto session = std::make_shared<serve_session>(
+      "", std::move(restored.recipe), kind, /*rng_seed=*/0);
+  session->fingerprint = fingerprint;
+  session->kernel_cache_hit = warm;
+  session->restored = true;
+  session->engine = std::move(restored.engine);
+  session->interactions.store(session->engine->interactions());
+  return insert(std::move(session));
+}
+
+std::shared_ptr<serve_session> session_table::insert(
+    std::shared_ptr<serve_session> session) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (sessions_.size() >= max_sessions_) {
+    throw http_error(503, "session table full (" +
+                              std::to_string(max_sessions_) +
+                              " sessions); destroy one first");
+  }
+  session->id = "s" + std::to_string(next_id_++);
+  sessions_.push_back(session);
+  return session;
+}
+
+std::shared_ptr<serve_session> session_table::find(const std::string& id) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& session : sessions_) {
+    if (session->id == id) return session;
+  }
+  return nullptr;
+}
+
+bool session_table::destroy(const std::string& id) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = sessions_.begin(); it != sessions_.end(); ++it) {
+    if ((*it)->id == id) {
+      (*it)->state.store(session_state::destroyed);
+      sessions_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::shared_ptr<serve_session>> session_table::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return sessions_;
+}
+
+std::size_t session_table::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return sessions_.size();
+}
+
+}  // namespace ppg

@@ -235,7 +235,8 @@ namespace {
 /// Strict recursive-descent JSON parser over a string_view.
 class json_parser {
  public:
-  explicit json_parser(std::string_view text) : text_(text) {}
+  json_parser(std::string_view text, std::size_t max_depth)
+      : text_(text), max_depth_(max_depth) {}
 
   json parse_document() {
     json value = parse_value(0);
@@ -245,16 +246,18 @@ class json_parser {
   }
 
  private:
-  static constexpr int max_depth = 128;
-
-  json parse_value(int depth) {
-    PPG_CHECK(depth < max_depth, "JSON nesting too deep");
+  json parse_value(std::size_t depth) {
     skip_whitespace();
     PPG_CHECK(pos_ < text_.size(), "unexpected end of JSON input");
     switch (text_[pos_]) {
+      // `depth` containers already enclose this value, so opening another
+      // is legal only while depth < max (max_depth counts container levels;
+      // scalars are free).
       case '{':
+        check_depth(depth);
         return parse_object(depth);
       case '[':
+        check_depth(depth);
         return parse_array(depth);
       case '"':
         return json(parse_string());
@@ -272,7 +275,13 @@ class json_parser {
     }
   }
 
-  json parse_object(int depth) {
+  void check_depth(std::size_t depth) const {
+    PPG_CHECK(depth < max_depth_,
+              "JSON nesting deeper than " + std::to_string(max_depth_) +
+                  " levels");
+  }
+
+  json parse_object(std::size_t depth) {
     ++pos_;  // consume '{'
     json value = json::object();
     skip_whitespace();
@@ -301,7 +310,7 @@ class json_parser {
     }
   }
 
-  json parse_array(int depth) {
+  json parse_array(std::size_t depth) {
     ++pos_;  // consume '['
     json value = json::array();
     skip_whitespace();
@@ -481,13 +490,23 @@ class json_parser {
   }
 
   std::string_view text_;
+  std::size_t max_depth_;
   std::size_t pos_ = 0;
 };
 
 }  // namespace
 
 json json::parse(std::string_view text) {
-  return json_parser(text).parse_document();
+  return parse(text, parse_limits{});
+}
+
+json json::parse(std::string_view text, const parse_limits& limits) {
+  PPG_CHECK(limits.max_depth >= 1, "json parse_limits: max_depth must be >= 1");
+  PPG_CHECK(limits.max_bytes == 0 || text.size() <= limits.max_bytes,
+            "JSON input of " + std::to_string(text.size()) +
+                " bytes exceeds the " + std::to_string(limits.max_bytes) +
+                "-byte limit");
+  return json_parser(text, limits.max_depth).parse_document();
 }
 
 namespace {

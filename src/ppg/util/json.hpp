@@ -101,10 +101,28 @@ class json {
   void dump(std::ostream& out, bool indent = true) const;
   [[nodiscard]] std::string dump_string(bool indent = true) const;
 
+  /// Resource bounds for parsing untrusted input (network bodies, uploaded
+  /// checkpoints). `max_bytes == 0` means unlimited; `max_depth` is the
+  /// deepest admitted container nesting — `max_depth == 4` accepts
+  /// `[[[[1]]]]` and rejects a fifth level (the parser recurses once per
+  /// level, so this is also the stack bound). Scalars don't count.
+  struct parse_limits {
+    std::size_t max_bytes = 0;
+    std::size_t max_depth = 128;
+  };
+
   /// Strict parser for the subset this writer emits (standard JSON with
   /// \uXXXX escapes, including surrogate pairs). Throws ppg::invariant_error
   /// on malformed input, trailing garbage, or nesting deeper than 128.
   [[nodiscard]] static json parse(std::string_view text);
+
+  /// parse() with explicit resource bounds: rejects input larger than
+  /// `limits.max_bytes` (when nonzero) or nested deeper than
+  /// `limits.max_depth` with a pointed ppg::invariant_error *before* doing
+  /// unbounded work — the entry point for untrusted network input
+  /// (ppg-serve request bodies).
+  [[nodiscard]] static json parse(std::string_view text,
+                                  const parse_limits& limits);
 
   friend bool operator==(const json& a, const json& b);
   friend bool operator!=(const json& a, const json& b) { return !(a == b); }

@@ -39,6 +39,16 @@ void thread_pool::wait_idle() {
   idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
 }
 
+std::size_t thread_pool::queued() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+std::size_t thread_pool::active() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return in_flight_;
+}
+
 void thread_pool::worker_loop() {
   for (;;) {
     std::function<void()> task;

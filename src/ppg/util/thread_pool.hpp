@@ -40,10 +40,22 @@ class thread_pool {
 
   [[nodiscard]] std::size_t size() const { return workers_.size(); }
 
+  /// Tasks submitted but not yet picked up by a worker. A point-in-time
+  /// reading (the queue drains concurrently); exact only when the caller
+  /// knows no worker is dequeuing — its consumers (the ppg-serve /stats
+  /// endpoint, the fair scheduler's depth probe) want a load gauge, not a
+  /// synchronization primitive.
+  [[nodiscard]] std::size_t queued() const;
+
+  /// Tasks currently executing on a worker. Same point-in-time caveat as
+  /// queued(); queued() + active() == 0 after wait_idle() returns with no
+  /// concurrent submitters, which is what the determinism tests pin.
+  [[nodiscard]] std::size_t active() const;
+
  private:
   void worker_loop();
 
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable task_ready_;
   std::condition_variable idle_;
   std::deque<std::function<void()>> queue_;

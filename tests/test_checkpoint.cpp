@@ -292,6 +292,73 @@ TEST(Checkpoint, MultibatchResumesMidResidualRound) {
   EXPECT_EQ(resumed.engine->save_state(), full->save_state());
 }
 
+// --- recipe fingerprints ---------------------------------------------------
+
+TEST(Fingerprint, InvariantUnderSourceFormatting) {
+  // The fingerprint hashes the *canonical* form, so whitespace, key order
+  // of the source text, and number spelling in the input must not matter.
+  const sim_recipe tidy = sim_recipe::from_json(json::parse(
+      R"({"protocol": {"name": "rumor", "params": {}},
+          "initial_counts": [280, 20], "sampling": "distinct"})"));
+  const sim_recipe scrambled = sim_recipe::from_json(json::parse(
+      "{\"sampling\":\"distinct\",\"initial_counts\":[280,20],"
+      "\"protocol\":{\"params\":{},\"name\":\"rumor\"}}"));
+  EXPECT_EQ(recipe_fingerprint(tidy), recipe_fingerprint(scrambled));
+}
+
+TEST(Fingerprint, SensitiveToEveryRecipeField) {
+  const auto fingerprint_of = [](const char* text) {
+    return recipe_fingerprint(sim_recipe::from_json(json::parse(text)));
+  };
+  const std::uint64_t base = fingerprint_of(
+      R"({"protocol": {"name": "rumor", "params": {}},
+          "initial_counts": [280, 20], "sampling": "distinct"})");
+  // Census, sampling, and protocol changes all move the fingerprint.
+  EXPECT_NE(base, fingerprint_of(
+                      R"({"protocol": {"name": "rumor", "params": {}},
+          "initial_counts": [281, 19], "sampling": "distinct"})"));
+  EXPECT_NE(base, fingerprint_of(
+                      R"({"protocol": {"name": "rumor", "params": {}},
+          "initial_counts": [280, 20], "sampling": "with_replacement"})"));
+  EXPECT_NE(base,
+            fingerprint_of(
+                R"({"protocol": {"name": "approximate-majority", "params": {}},
+          "initial_counts": [280, 20, 0], "sampling": "distinct"})"));
+}
+
+TEST(Fingerprint, StableAcrossProcessRestarts) {
+  // json_fingerprint must be a pure function of the document bytes — no
+  // per-process salting — or the serve kernel cache would never warm up
+  // across sessions created from identical client requests.
+  const json doc = json::parse(R"({"name": "rumor", "params": {}})");
+  EXPECT_EQ(json_fingerprint(doc), json_fingerprint(json::parse(
+                                       R"({"name":"rumor","params":{}})")));
+  EXPECT_NE(json_fingerprint(doc),
+            json_fingerprint(json::parse(R"({"name": "rumor"})")));
+}
+
+TEST(Checkpoint, RestoreWithPrecompiledKernelIsBitExact) {
+  // The serve warm-cache path: restoring with a shared precompiled kernel
+  // must continue the trajectory exactly like a fresh compile.
+  const sim_recipe recipe =
+      sim_recipe::from_json(json::parse(hawk_dove_recipe_text()));
+  const auto kernel = std::make_shared<const kernel_table>(recipe.proto());
+  for (const auto kind :
+       {engine_kind::census, engine_kind::batched, engine_kind::multibatch}) {
+    rng gen(604);
+    const auto engine = recipe.spec().make_engine(kind, gen);
+    engine->run(4096);
+    const json checkpoint = save_checkpoint(recipe, *engine);
+
+    auto plain = restore_checkpoint(checkpoint);
+    auto shared = restore_checkpoint(checkpoint, kernel);
+    plain.engine->run(4096);
+    shared.engine->run(4096);
+    EXPECT_EQ(plain.engine->save_state(), shared.engine->save_state())
+        << engine_kind_name(kind);
+  }
+}
+
 // --- snapshot round trip and strictness -----------------------------------
 
 TEST(Checkpoint, SnapshotIsAFixedPointOfRestore) {

@@ -5,8 +5,11 @@
 
 #include <atomic>
 #include <cmath>
+#include <condition_variable>
+#include <mutex>
 #include <set>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "ppg/core/igt_count_chain.hpp"
@@ -65,6 +68,46 @@ TEST(ThreadPool, RunsEveryTaskExactlyOnce) {
   pool.submit([&hits] { hits.fetch_add(1); });
   pool.wait_idle();
   EXPECT_EQ(hits.load(), 101);
+}
+
+TEST(ThreadPool, QueuedAndActiveCounters) {
+  thread_pool pool(2);
+  EXPECT_EQ(pool.queued(), 0u);
+  EXPECT_EQ(pool.active(), 0u);
+
+  // Park both workers on a gate, then pile up waiting tasks: the counters
+  // must see exactly 2 executing and the rest queued.
+  std::mutex gate_mutex;
+  std::condition_variable gate_cv;
+  bool gate_open = false;
+  std::atomic<int> entered{0};
+  const auto blocker = [&] {
+    entered.fetch_add(1);
+    std::unique_lock<std::mutex> lock(gate_mutex);
+    gate_cv.wait(lock, [&] { return gate_open; });
+  };
+  pool.submit(blocker);
+  pool.submit(blocker);
+  while (entered.load() < 2) {
+    std::this_thread::yield();
+  }
+  for (int i = 0; i < 5; ++i) {
+    pool.submit([] {});
+  }
+  EXPECT_EQ(pool.active(), 2u);
+  EXPECT_EQ(pool.queued(), 5u);
+
+  {
+    const std::lock_guard<std::mutex> lock(gate_mutex);
+    gate_open = true;
+  }
+  gate_cv.notify_all();
+  pool.wait_idle();
+  // Determinism contract: after wait_idle with no concurrent submitters the
+  // pool must be provably drained — observing the counters is side-effect
+  // free and never perturbs task order.
+  EXPECT_EQ(pool.queued(), 0u);
+  EXPECT_EQ(pool.active(), 0u);
 }
 
 TEST(BatchRunner, CoversEveryReplicaOnce) {

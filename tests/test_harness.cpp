@@ -128,6 +128,58 @@ TEST(Json, ParserRejectsMalformedInput) {
   EXPECT_THROW(json::parse("nul"), invariant_error);
 }
 
+TEST(Json, ParseLimitsRejectOversizedInput) {
+  json::parse_limits limits;
+  limits.max_bytes = 16;
+  EXPECT_NO_THROW((void)json::parse(R"({"a": 1})", limits));
+  try {
+    (void)json::parse(R"({"key": "0123456789"})", limits);
+    FAIL() << "oversized input was accepted";
+  } catch (const invariant_error& e) {
+    // The error must point at both sizes, so a client learns the cap.
+    const std::string what = e.what();
+    EXPECT_NE(what.find("21 bytes"), std::string::npos) << what;
+    EXPECT_NE(what.find("16-byte limit"), std::string::npos) << what;
+  }
+  // max_bytes == 0 means unlimited (the trusted-input default).
+  limits.max_bytes = 0;
+  EXPECT_NO_THROW((void)json::parse(R"({"key": "0123456789"})", limits));
+}
+
+TEST(Json, ParseLimitsRejectDeepNesting) {
+  json::parse_limits limits;
+  limits.max_depth = 4;
+  EXPECT_NO_THROW((void)json::parse("[[[[1]]]]", limits));  // exactly 4 deep
+  try {
+    (void)json::parse("[[[[[1]]]]]", limits);
+    FAIL() << "over-deep input was accepted";
+  } catch (const invariant_error& e) {
+    EXPECT_NE(std::string(e.what()).find("deeper than 4 levels"),
+              std::string::npos)
+        << e.what();
+  }
+  // Objects and arrays share the one depth budget: 4 mixed levels pass,
+  // a fifth of either kind is refused.
+  EXPECT_NO_THROW((void)json::parse(R"({"a": [{"b": [1]}]})", limits));
+  EXPECT_THROW((void)json::parse(R"({"a": [{"b": [[1]]}]})", limits),
+               invariant_error);
+  EXPECT_THROW((void)(json::parse("x", json::parse_limits{0, 0})),
+               invariant_error);  // a zero depth budget is a caller bug
+}
+
+TEST(Json, DefaultParseDepthIsBounded) {
+  // The unlimited-bytes default still bounds recursion: 4000 open brackets
+  // must fail with the depth error, not a stack overflow.
+  const std::string deep(4000, '[');
+  try {
+    (void)json::parse(deep);
+    FAIL() << "unbounded nesting was accepted";
+  } catch (const invariant_error& e) {
+    EXPECT_NE(std::string(e.what()).find("nesting deeper"), std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(Json, LargeUnsignedIntegersStayExact) {
   // Seeds above 2^53 must not be routed through double: the artifact
   // exists so a run can be reproduced from its recorded parameters.

@@ -15,6 +15,16 @@ Fails (exit 1) when:
     machine-precision metrics (detailed-balance residuals ~1e-17) jitter in
     the last bit across compilers, which is not a regression.
 
+Compare two runs (the thread-determinism gate):
+    check_bench.py --compare-runs A_JSON B_JSON [--atol 0]
+
+Fails (exit 1) when any goal-tagged metric differs between the two
+artifacts by more than --atol (default 0: goal-tagged metrics are
+seed-deterministic by repo convention, so two runs of the same suite at
+the same seed — e.g. --threads 1 vs --threads $(nproc) — must agree
+bitwise), or when a scenario or gated metric is present in one artifact
+but not the other. Untagged metrics (wall-clock rates) are ignored.
+
 Refresh (after an intentional metric change or a new scenario):
     check_bench.py --refresh [--bench build/bench/ppg-bench]
                              [--baseline BENCH_baseline.json]
@@ -22,7 +32,10 @@ Refresh (after an intentional metric change or a new scenario):
 Runs the bench binary in full (non-smoke) mode, prints the diff of gated
 metrics against the current baseline — regressions are reported but do not
 fail, since a refresh is by definition intentional — and rewrites the
-baseline file. Commit the diff it prints.
+baseline file. Baseline scenarios or gated metrics absent from the fresh
+run are reported loudly (they are about to be dropped from the gate), so a
+renamed or deleted metric never disappears silently. Commit the diff it
+prints.
 
 Goal tags come from each scenario's "metric_goals" map in the baseline (the
 contract the baseline froze); goal-tagged metrics that are new since the
@@ -75,6 +88,14 @@ def compare(new, baseline, threshold, atol):
         if name not in new_scenarios:
             failures.append(
                 ("missing", f"scenario '{name}' missing from new artifact"))
+            # Enumerate the gated metrics the missing scenario takes with
+            # it, so the failure names every metric leaving the gate.
+            goals = base_scenarios[name].get("metric_goals", {})
+            for metric in sorted(goals):
+                failures.append(
+                    ("missing",
+                     f"{name}.{metric} ({goals[metric]}) gated in the "
+                     "baseline but its scenario is missing"))
     for name in sorted(new_scenarios):
         if name not in base_scenarios:
             warnings.append(f"scenario '{name}' not in baseline — "
@@ -122,6 +143,55 @@ def compare(new, baseline, threshold, atol):
     return rows, failures, warnings
 
 
+def compare_runs(path_a, path_b, atol):
+    """Zero-tolerance agreement check between two runs of the same suite.
+
+    Goal-tagged metrics are seed-deterministic by repo convention, so two
+    artifacts produced at the same (smoke, seed) — at any thread counts —
+    must agree on every one of them. Returns a list of failure messages."""
+    run_a = load(path_a)
+    run_b = load(path_b)
+    failures = []
+    if run_a.get("schema_version") != run_b.get("schema_version"):
+        failures.append(
+            f"schema_version mismatch: {path_a}={run_a.get('schema_version')} "
+            f"{path_b}={run_b.get('schema_version')}")
+    scenarios_a = scenario_map(run_a)
+    scenarios_b = scenario_map(run_b)
+    for name in sorted(set(scenarios_a) ^ set(scenarios_b)):
+        where = path_b if name in scenarios_a else path_a
+        failures.append(f"scenario '{name}' missing from {where}")
+    checked = 0
+    for name in sorted(set(scenarios_a) & set(scenarios_b)):
+        a = scenarios_a[name]
+        b = scenarios_b[name]
+        gated = sorted(set(a.get("metric_goals", {}))
+                       | set(b.get("metric_goals", {})))
+        for metric in gated:
+            missing = [path for path, s in ((path_a, a), (path_b, b))
+                       if metric not in s.get("metrics", {})]
+            if missing:
+                failures.append(f"{name}.{metric} missing from "
+                                f"{' and '.join(missing)}")
+                continue
+            value_a = a["metrics"][metric]
+            value_b = b["metrics"][metric]
+            checked += 1
+            if abs(value_a - value_b) > atol:
+                failures.append(
+                    f"{name}.{metric} differs: {value_a!r} vs {value_b!r} "
+                    f"(|diff| = {abs(value_a - value_b):.6g} > atol {atol:g})")
+    if failures:
+        print(f"check_bench: --compare-runs: {len(failures)} mismatch(es) "
+              f"between {path_a} and {path_b}:")
+        for message in failures:
+            print(f"  - {message}")
+        return 1
+    print(f"check_bench: --compare-runs OK — {checked} goal-tagged "
+          f"metric(s) agree within atol {atol:g}")
+    return 0
+
+
 def print_rows(rows):
     if not rows:
         return
@@ -163,6 +233,13 @@ def refresh(args):
         print_rows(rows)
         for warning in warnings:
             print(f"warning: {warning}")
+        dropped = [msg for kind, msg in failures if kind == "missing"]
+        if dropped:
+            print(f"\ncheck_bench: WARNING — {len(dropped)} baseline "
+                  "scenario(s)/gated metric(s) absent from the fresh run "
+                  "and about to be DROPPED from the gate:")
+            for message in dropped:
+                print(f"  - {message}")
         moved = [msg for kind, msg in failures if kind == "regression"]
         if moved:
             print(f"\ncheck_bench: {len(moved)} gated metric(s) moved past "
@@ -193,6 +270,11 @@ def main():
     parser.add_argument("--refresh", action="store_true",
                         help="regenerate the baseline from a full "
                              "(non-smoke) run and print the gated diff")
+    parser.add_argument("--compare-runs", nargs=2,
+                        metavar=("A_JSON", "B_JSON"),
+                        help="require every goal-tagged metric to agree "
+                             "between two runs of the same suite "
+                             "(zero tolerance unless --atol is raised)")
     parser.add_argument("--bench", default="build/bench/ppg-bench",
                         help="bench binary for --refresh "
                              "(default build/bench/ppg-bench)")
@@ -201,9 +283,18 @@ def main():
                              "(default BENCH_baseline.json)")
     parser.add_argument("--threshold", type=float, default=0.30,
                         help="fractional regression allowed (default 0.30)")
-    parser.add_argument("--atol", type=float, default=1e-9,
-                        help="absolute noise floor (default 1e-9)")
+    parser.add_argument("--atol", type=float, default=None,
+                        help="absolute noise floor (default 1e-9; "
+                             "0 in --compare-runs mode)")
     args = parser.parse_args()
+
+    if args.compare_runs:
+        if args.refresh or args.new_json or args.baseline_json:
+            parser.error("--compare-runs takes exactly its two artifacts")
+        atol = args.atol if args.atol is not None else 0.0
+        return compare_runs(args.compare_runs[0], args.compare_runs[1], atol)
+    if args.atol is None:
+        args.atol = 1e-9
 
     if args.refresh:
         if args.new_json or args.baseline_json:

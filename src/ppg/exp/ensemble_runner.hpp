@@ -1,0 +1,91 @@
+// Ensemble-backed replication: the replicate_* measurement shapes executed
+// on the SoA ensemble engine instead of R separate engines. One kernel, one
+// birthday table, contiguous count planes — and the exact batch_runner
+// stream law, so the results are *bitwise equal* to the per-engine path
+// (replicate_time_averaged_census with engine_kind::multibatch), not merely
+// distribution-equal. The per-replica fold still happens in replica order
+// on the calling thread, so aggregates are thread-count-independent too.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "ppg/exp/aggregator.hpp"
+#include "ppg/pp/census.hpp"
+#include "ppg/pp/engine.hpp"
+#include "ppg/pp/ensemble_engine.hpp"
+#include "ppg/util/error.hpp"
+
+namespace ppg {
+
+struct ensemble_options {
+  /// Number of lockstep replicas R.
+  std::size_t replicas = 1;
+  /// Master seed; replica r uses the batch_runner stream law.
+  std::uint64_t master_seed = 0;
+  /// Worker threads advancing replicas; 0 means hardware concurrency.
+  std::size_t threads = 0;
+};
+
+/// Builds the ensemble for `spec` (same protocol / initial census /
+/// sampling, warm kernel honored) with the options' seeding and threading.
+[[nodiscard]] inline ensemble_engine make_ensemble(
+    const sim_spec& spec, const ensemble_options& opts,
+    std::shared_ptr<const kernel_table> kernel = nullptr) {
+  ensemble_engine ensemble(spec.proto(), spec.initial_counts(),
+                           opts.master_seed, opts.replicas, spec.sampling(),
+                           std::move(kernel));
+  const std::size_t threads =
+      opts.threads != 0
+          ? opts.threads
+          : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  ensemble.set_threads(threads);
+  return ensemble;
+}
+
+/// The stationary-census measurement (replicate_time_averaged_census) on
+/// the ensemble engine: every replica burns `burn` interactions, then
+/// advances one interaction per sample, averaging `project(census)` over
+/// the sampled interactions; per-replica means are folded in replica order.
+/// Bitwise equal to replicate_time_averaged_census(spec,
+/// engine_kind::multibatch, burn, samples, ...) at the same master seed —
+/// the replica streams, the chunk schedule (run(burn), then single steps),
+/// and the fold order all match.
+template <typename Project>
+[[nodiscard]] census_aggregator ensemble_time_averaged_census(
+    const sim_spec& spec, std::uint64_t burn, std::uint64_t samples,
+    const ensemble_options& opts, Project&& project,
+    std::shared_ptr<const kernel_table> kernel = nullptr) {
+  PPG_CHECK(samples > 0, "need at least one sampled interaction");
+  ensemble_engine ensemble = make_ensemble(spec, opts, std::move(kernel));
+  ensemble.run(burn);
+  std::vector<std::vector<double>> means(opts.replicas);
+  for (std::uint64_t i = 0; i < samples; ++i) {
+    ensemble.step();
+    for (std::size_t r = 0; r < opts.replicas; ++r) {
+      const auto counts = ensemble.replica_census(r);
+      const census_view view(counts, ensemble.population_size());
+      const std::vector<double> value = project(view);
+      auto& mean = means[r];
+      if (mean.empty()) mean.assign(value.size(), 0.0);
+      PPG_CHECK(value.size() == mean.size(),
+                "projection width must be constant across samples");
+      for (std::size_t j = 0; j < value.size(); ++j) {
+        mean[j] += value[j];
+      }
+    }
+  }
+  census_aggregator agg;
+  for (auto& mean : means) {
+    for (auto& x : mean) {
+      x /= static_cast<double>(samples);
+    }
+    agg.add(mean);
+  }
+  return agg;
+}
+
+}  // namespace ppg

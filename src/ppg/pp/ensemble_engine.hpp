@@ -1,0 +1,107 @@
+// The SoA ensemble engine: R multibatch replicas of one recipe advanced in
+// lockstep over structure-of-arrays planes (one flat R x width array per
+// pool instead of R separate engines), sharing a single compiled kernel and
+// a single tabulated birthday sampler across the whole ensemble — the
+// O(sqrt(n)) log-survival table and the kernel's flattened outcome lists
+// are built once, not once per replica, and the planes keep the per-round
+// working set contiguous when thousands of replicas advance together.
+//
+// Determinism contract (the batch_runner law, DESIGN.md §11): replica r
+// draws from make_stream_rng(master_seed, r).split() — exactly the
+// generator sim_spec::make_engine hands a multibatch engine inside
+// batch_runner replica r — so replica r's trajectory is *bitwise identical*
+// to the solo multibatch engine's under the same run() chunk schedule,
+// at any thread count. Threads parallelize across replicas (each owns its
+// stream and its plane slices); results never depend on how many there are.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ppg/pp/kernel.hpp"
+#include "ppg/pp/multibatch_round.hpp"
+#include "ppg/pp/scheduler.hpp"
+#include "ppg/util/rng.hpp"
+#include "ppg/util/thread_pool.hpp"
+
+namespace ppg {
+
+class ensemble_engine {
+ public:
+  /// Same recipe contract as the multibatch engine (kernel-bearing
+  /// protocol, pair_sampling::distinct, n <= 3e9), fanned out to
+  /// `replicas` independent streams of `master_seed`. A non-null `kernel`
+  /// reuses a precompiled table (the warm-cache path).
+  ensemble_engine(const protocol& proto,
+                  const std::vector<std::uint64_t>& initial_counts,
+                  std::uint64_t master_seed, std::size_t replicas,
+                  pair_sampling sampling = pair_sampling::distinct,
+                  std::shared_ptr<const kernel_table> kernel = nullptr);
+
+  /// Advances every replica by `steps` interactions. One call is one chunk
+  /// of every replica's schedule: run(a) then run(b) equals the solo
+  /// engine's run(a); run(b), not its run(a+b) (the multibatch
+  /// sequential/aggregate path choice depends on the chunk boundary).
+  void run(std::uint64_t steps);
+
+  /// One interaction per replica.
+  void step() { run(1); }
+
+  [[nodiscard]] std::size_t replicas() const { return replicas_; }
+  [[nodiscard]] std::size_t width() const { return width_; }
+  [[nodiscard]] std::uint64_t population_size() const { return n_; }
+  [[nodiscard]] std::uint64_t master_seed() const { return master_seed_; }
+
+  /// Replica r's census: a view into the SoA plane (valid until the next
+  /// run()), and a copying form for census_view-based consumers.
+  [[nodiscard]] const std::uint64_t* replica_counts(std::size_t r) const {
+    return counts_.data() + r * width_;
+  }
+  [[nodiscard]] std::vector<std::uint64_t> replica_census(std::size_t r) const;
+
+  /// Per-replica and ensemble-total interaction counters (every replica
+  /// advances in lockstep, so per-replica counts are equal after run()).
+  [[nodiscard]] std::uint64_t interactions(std::size_t r) const {
+    return interactions_[r];
+  }
+  [[nodiscard]] std::uint64_t total_interactions() const;
+
+  /// Summed multibatch work counters across the ensemble — the
+  /// seed-deterministic metrics the bench gate pins.
+  [[nodiscard]] std::uint64_t total_rounds() const;
+  [[nodiscard]] std::uint64_t total_collisions() const;
+
+  /// Mean census fractions across replicas (ensemble-averaged census).
+  [[nodiscard]] std::vector<double> mean_fractions() const;
+
+  /// Worker threads advancing replicas; <= 1 (the default) runs them on
+  /// the calling thread. Bit-identical at every setting.
+  void set_threads(std::size_t threads);
+  [[nodiscard]] std::size_t threads() const {
+    return pool_ ? pool_->size() : 1;
+  }
+
+ private:
+  std::shared_ptr<const kernel_table> kernel_;
+  std::size_t replicas_;
+  std::size_t width_;
+  std::uint64_t n_ = 0;
+  std::uint64_t master_seed_;
+  // SoA planes: replica r owns [r * width_, (r+1) * width_).
+  std::vector<std::uint64_t> counts_;
+  std::vector<std::uint64_t> untouched_;
+  std::vector<std::uint64_t> touched_;
+  // Per-replica scalars (indexed by replica).
+  std::vector<std::uint64_t> untouched_total_;
+  std::vector<std::uint64_t> interactions_;
+  std::vector<std::uint64_t> rounds_;
+  std::vector<std::uint64_t> collisions_;
+  std::vector<std::uint64_t> pending_free_;
+  std::vector<std::uint8_t> collision_pending_;  ///< not vector<bool>: raced
+  std::vector<rng> gens_;
+  multibatch_executor executor_;
+  std::unique_ptr<thread_pool> pool_;
+};
+
+}  // namespace ppg

@@ -1,233 +1,39 @@
 #include "ppg/pp/multibatch_engine.hpp"
 
 #include <algorithm>
-#include <cmath>
+#include <utility>
 
-#include "ppg/stats/discrete_sampling.hpp"
 #include "ppg/util/error.hpp"
 
 namespace ppg {
-namespace {
-
-constexpr agent_state no_excluded_state = static_cast<agent_state>(-1);
-
-/// The state holding the `target`-th agent (0-indexed) of the pool when its
-/// agents are ordered by state; `excluded` removes one agent of that state
-/// first (no_excluded_state removes none).
-agent_state locate(const std::vector<std::uint64_t>& pool,
-                   std::uint64_t target, agent_state excluded) {
-  for (std::size_t s = 0; s < pool.size(); ++s) {
-    const std::uint64_t c = pool[s] - (s == excluded ? 1u : 0u);
-    if (target < c) return static_cast<agent_state>(s);
-    target -= c;
-  }
-  PPG_CHECK(false, "multibatch sampling target out of range");
-}
-
-}  // namespace
 
 multibatch_engine::multibatch_engine(const protocol& proto,
                                      std::vector<std::uint64_t> initial_counts,
                                      rng gen, pair_sampling sampling,
                                      std::shared_ptr<const kernel_table> kernel)
     : kernel_(kernel ? std::move(kernel)
-                       : std::make_shared<const kernel_table>(proto)), counts_(std::move(initial_counts)), n_(0), gen_(gen) {
+                     : std::make_shared<const kernel_table>(proto)),
+      counts_(std::move(initial_counts)),
+      n_([&] {
+        std::uint64_t n = 0;
+        for (const auto c : counts_) n += c;
+        return n;
+      }()),
+      gen_(gen),
+      executor_(kernel_, counts_.size(), n_) {
   PPG_CHECK(sampling == pair_sampling::distinct,
             "multibatch engine supports pair_sampling::distinct only; use "
             "the census engine for with_replacement sampling");
   PPG_CHECK(kernel_->num_states() == proto.num_states(),
-            "multibatch engine: precompiled kernel does not match the protocol");
-  PPG_CHECK(counts_.size() >= kernel_->num_states(),
-            "census state space smaller than the protocol's");
+            "multibatch engine: precompiled kernel does not match the "
+            "protocol");
   for (std::size_t s = 0; s < counts_.size(); ++s) {
     PPG_CHECK(s < kernel_->num_states() || counts_[s] == 0,
               "multibatch engine: agents in states outside the protocol's "
               "space");
-    n_ += counts_[s];
   }
-  PPG_CHECK(n_ >= 2, "a protocol needs at least two agents");
-  // Collision-category weights (t*u etc.) must not overflow: n^2 < 2^63.
-  PPG_CHECK(n_ <= 3'000'000'000ull, "multibatch engine caps n at 3e9");
   untouched_ = counts_;
   touched_.assign(counts_.size(), 0);
-  untouched_total_ = n_;
-  const auto q = static_cast<std::uint64_t>(kernel_->num_states());
-  // Below ~4q^2 interactions the aggregate path's O(q^2) hypergeometric
-  // table costs more than per-pair O(q) sampling, so short runs (small n:
-  // the birthday law scales them as ~sqrt(n)) fall back to the sequential
-  // path and the engine degrades to census-engine cost.
-  aggregate_threshold_ = std::max<std::uint64_t>(16, 4 * q * q);
-  log_ordered_pairs_ = std::log(static_cast<double>(n_)) +
-                       std::log(static_cast<double>(n_ - 1));
-}
-
-std::uint64_t multibatch_engine::sample_collision_free_run() {
-  // P(J > j) = prod_{i<j} (n-2i)(n-2i-1) / (n(n-1))
-  //          = n! / (n-2j)! / (n(n-1))^j,
-  // the birthday law of drawing ordered agent pairs until one re-uses an
-  // agent. Inversion: J = max{j : S(j) >= U}, located by binary search on
-  // the lgamma form of log S — S is decreasing in j, S(0) = 1 > log U's
-  // level, and S vanishes once the pool is exhausted (2j > n - 1).
-  double u = gen_.next_double();
-  while (u <= 0.0) u = gen_.next_double();
-  const double log_u = std::log(u);
-  const double lg_n1 = std::lgamma(static_cast<double>(n_) + 1.0);
-  const auto log_survival = [&](std::uint64_t j) {
-    return lg_n1 - std::lgamma(static_cast<double>(n_ - 2 * j) + 1.0) -
-           static_cast<double>(j) * log_ordered_pairs_;
-  };
-  // Invariant: log_survival(lo) >= log_u; hi is the largest j with a
-  // positive survival (the pool supports at most n/2 disjoint pairs).
-  std::uint64_t lo = 0;
-  std::uint64_t hi = n_ / 2;
-  if (log_survival(hi) >= log_u) return hi;
-  while (hi - lo > 1) {
-    const std::uint64_t mid = lo + (hi - lo) / 2;
-    if (log_survival(mid) >= log_u) {
-      lo = mid;
-    } else {
-      hi = mid;
-    }
-  }
-  // S(1) = 1 exactly (the first pair of a round cannot collide); guard the
-  // clamp against lgamma rounding so a round always has one interaction.
-  return std::max<std::uint64_t>(lo, 1);
-}
-
-void multibatch_engine::apply_pair_type(agent_state u, agent_state v,
-                                        std::uint64_t m) {
-  counts_[u] -= m;
-  counts_[v] -= m;
-  const std::size_t support = kernel_->num_outcomes(u, v);
-  if (support == 1) {
-    // Deterministic pair: no draws, mirroring every engine's fast path.
-    const outcome o = kernel_->outcome_at(u, v, 0);
-    counts_[o.initiator] += m;
-    counts_[o.responder] += m;
-    touched_[o.initiator] += m;
-    touched_[o.responder] += m;
-    return;
-  }
-  outcome_probs_.resize(support);
-  for (std::size_t k = 0; k < support; ++k) {
-    outcome_probs_[k] = kernel_->outcome_at(u, v, k).probability;
-  }
-  const auto split = sample_multinomial(m, outcome_probs_, gen_);
-  for (std::size_t k = 0; k < support; ++k) {
-    if (split[k] == 0) continue;
-    const outcome o = kernel_->outcome_at(u, v, k);
-    counts_[o.initiator] += split[k];
-    counts_[o.responder] += split[k];
-    touched_[o.initiator] += split[k];
-    touched_[o.responder] += split[k];
-  }
-}
-
-void multibatch_engine::apply_free_aggregate(std::uint64_t free) {
-  // The 2*free agents of a collision-free run are a uniform sample without
-  // replacement from the untouched pool; odd positions (initiators) are a
-  // simple random sample, even positions (responders) one from the
-  // remainder, and conditioned on both multisets the initiator-responder
-  // matching is uniform — realized by splitting the responder multiset
-  // across initiator groups with sequential multivariate hypergeometrics.
-  const auto initiators =
-      sample_multivariate_hypergeometric(untouched_, free, gen_);
-  for (std::size_t s = 0; s < untouched_.size(); ++s) {
-    untouched_[s] -= initiators[s];
-  }
-  untouched_total_ -= free;
-  auto responders =
-      sample_multivariate_hypergeometric(untouched_, free, gen_);
-  for (std::size_t s = 0; s < untouched_.size(); ++s) {
-    untouched_[s] -= responders[s];
-  }
-  untouched_total_ -= free;
-  const std::size_t q = kernel_->num_states();
-  std::uint64_t remaining = free;
-  for (std::size_t u = 0; u < q && remaining > 0; ++u) {
-    if (initiators[u] == 0) continue;
-    const auto row =
-        sample_multivariate_hypergeometric(responders, initiators[u], gen_);
-    for (std::size_t v = 0; v < q; ++v) {
-      responders[v] -= row[v];
-      if (row[v] > 0) {
-        apply_pair_type(static_cast<agent_state>(u),
-                        static_cast<agent_state>(v), row[v]);
-      }
-    }
-    remaining -= initiators[u];
-  }
-}
-
-void multibatch_engine::apply_free_sequential(std::uint64_t free) {
-  for (std::uint64_t i = 0; i < free; ++i) {
-    const agent_state u =
-        locate(untouched_, gen_.next_below(untouched_total_),
-               no_excluded_state);
-    const agent_state v =
-        locate(untouched_, gen_.next_below(untouched_total_ - 1), u);
-    const auto [next_initiator, next_responder] = kernel_->sample(u, v, gen_);
-    --untouched_[u];
-    --untouched_[v];
-    untouched_total_ -= 2;
-    ++touched_[next_initiator];
-    ++touched_[next_responder];
-    --counts_[u];
-    --counts_[v];
-    ++counts_[next_initiator];
-    ++counts_[next_responder];
-  }
-}
-
-void multibatch_engine::resolve_collision() {
-  const std::uint64_t u_total = untouched_total_;
-  const std::uint64_t t_total = n_ - u_total;
-  // An ordered pair of distinct agents conditioned on >= 1 touched agent:
-  // categories touched-touched, touched-untouched, untouched-touched with
-  // weights t(t-1), t*u, u*t (their sum is n(n-1) - u(u-1)).
-  const std::uint64_t tt = t_total * (t_total - 1);
-  const std::uint64_t tu = t_total * u_total;
-  std::uint64_t x = gen_.next_below(tt + 2 * tu);
-  agent_state initiator;
-  agent_state responder;
-  bool initiator_touched;
-  bool responder_touched;
-  if (x < tt) {
-    initiator = locate(touched_, gen_.next_below(t_total), no_excluded_state);
-    responder = locate(touched_, gen_.next_below(t_total - 1), initiator);
-    initiator_touched = responder_touched = true;
-  } else if (x < tt + tu) {
-    initiator = locate(touched_, gen_.next_below(t_total), no_excluded_state);
-    responder =
-        locate(untouched_, gen_.next_below(u_total), no_excluded_state);
-    initiator_touched = true;
-    responder_touched = false;
-  } else {
-    initiator =
-        locate(untouched_, gen_.next_below(u_total), no_excluded_state);
-    responder = locate(touched_, gen_.next_below(t_total), no_excluded_state);
-    initiator_touched = false;
-    responder_touched = true;
-  }
-  const auto [next_initiator, next_responder] =
-      kernel_->sample(initiator, responder, gen_);
-  --(initiator_touched ? touched_ : untouched_)[initiator];
-  --(responder_touched ? touched_ : untouched_)[responder];
-  untouched_total_ -=
-      (initiator_touched ? 0u : 1u) + (responder_touched ? 0u : 1u);
-  ++touched_[next_initiator];
-  ++touched_[next_responder];
-  --counts_[initiator];
-  --counts_[responder];
-  ++counts_[next_initiator];
-  ++counts_[next_responder];
-}
-
-void multibatch_engine::merge_touched() {
-  for (std::size_t s = 0; s < touched_.size(); ++s) {
-    untouched_[s] += touched_[s];
-    touched_[s] = 0;
-  }
   untouched_total_ = n_;
 }
 
@@ -326,37 +132,26 @@ void multibatch_engine::step() { run(1); }
 
 void multibatch_engine::run(std::uint64_t steps) {
   check_round_invariants();
-  std::uint64_t remaining = steps;
-  while (remaining > 0) {
-    if (!collision_pending_) {
-      // New round: every agent is untouched (merge_touched ran), so the
-      // birthday law starts from the full pool.
-      pending_free_ = sample_collision_free_run();
-      collision_pending_ = true;
-      ++rounds_;
-    }
-    if (pending_free_ > 0) {
-      // A run truncated by the step budget stays lawful: the remainder is
-      // carried in pending_free_ and continues in the next call, so no
-      // redraw is needed (and the birthday law is not memoryless).
-      const std::uint64_t free = std::min(pending_free_, remaining);
-      if (free < aggregate_threshold_) {
-        apply_free_sequential(free);
-      } else {
-        apply_free_aggregate(free);
-      }
-      pending_free_ -= free;
-      remaining -= free;
-      interactions_ += free;
-    }
-    if (remaining == 0) break;
-    resolve_collision();
-    ++collisions_;
-    ++interactions_;
-    --remaining;
-    collision_pending_ = false;
-    merge_touched();
-  }
+  multibatch_state st;
+  st.counts = counts_.data();
+  st.untouched = untouched_.data();
+  st.touched = touched_.data();
+  st.width = counts_.size();
+  st.n = n_;
+  st.untouched_total = untouched_total_;
+  st.gen = &gen_;
+  st.interactions = interactions_;
+  st.rounds = rounds_;
+  st.collisions = collisions_;
+  st.pending_free = pending_free_;
+  st.collision_pending = collision_pending_;
+  executor_.run(st, steps);
+  untouched_total_ = st.untouched_total;
+  interactions_ = st.interactions;
+  rounds_ = st.rounds;
+  collisions_ = st.collisions;
+  pending_free_ = st.pending_free;
+  collision_pending_ = st.collision_pending;
 }
 
 }  // namespace ppg

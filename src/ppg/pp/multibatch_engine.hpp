@@ -13,7 +13,8 @@
 //  1. the number of collision-free interactions J before the first
 //     interaction re-using a touched agent follows the exact birthday law
 //     P(J > j) = prod_{i<j} (n-2i)(n-2i-1) / (n(n-1)), drawn by inversion
-//     (binary search over the lgamma form of the survival function);
+//     over a log-survival table built once per population size
+//     (stats/discrete_sampling's collision_run_sampler);
 //  2. the q x q table of ordered state-pair counts of those J interactions
 //     is drawn from multivariate hypergeometrics over the untouched census
 //     (initiator sample, then responder sample, then a uniform matching by
@@ -34,6 +35,11 @@
 // birthday law adapts by itself), and sub-q^2 rounds take a sequential
 // per-pair path, so small populations degrade gracefully to exactly the
 // census engine's per-interaction cost.
+//
+// Steps 2–3 are decomposed into fixed-law shards executed by the round core
+// (pp/multibatch_round.hpp, DESIGN.md §11): set_shards() chooses how many
+// threads execute them, and the trajectory is bit-identical at every
+// setting, checkpoints included.
 #pragma once
 
 #include <cstdint>
@@ -42,6 +48,7 @@
 
 #include "ppg/pp/engine.hpp"
 #include "ppg/pp/kernel.hpp"
+#include "ppg/pp/multibatch_round.hpp"
 
 namespace ppg {
 
@@ -58,7 +65,7 @@ class multibatch_engine final : public sim_engine {
   multibatch_engine(const protocol& proto,
                     std::vector<std::uint64_t> initial_counts, rng gen,
                     pair_sampling sampling = pair_sampling::distinct,
-                                  std::shared_ptr<const kernel_table> kernel = nullptr);
+                    std::shared_ptr<const kernel_table> kernel = nullptr);
 
   void step() override;
   void run(std::uint64_t steps) override;
@@ -76,6 +83,13 @@ class multibatch_engine final : public sim_engine {
   [[nodiscard]] engine_kind kind() const override {
     return engine_kind::multibatch;
   }
+
+  /// Number of threads executing the round core's shard sub-draws; <= 1
+  /// (the default) runs them inline. The decomposition itself is a fixed
+  /// law — the trajectory, draw for draw, and every snapshot are
+  /// bit-identical at any setting (pp/multibatch_round.hpp).
+  void set_shards(std::size_t threads) { executor_.set_threads(threads); }
+  [[nodiscard]] std::size_t shards() const { return executor_.threads(); }
 
   /// Aggregated rounds started and collisions resolved so far: the engine's
   /// seed-deterministic work metric. interactions() / (rounds() +
@@ -101,6 +115,8 @@ class multibatch_engine final : public sim_engine {
   /// round/collision counters, and the residual-round carry
   /// (pending_free / collision_pending) — a checkpoint taken inside a
   /// budget-truncated round resumes the same round, same law, same draws.
+  /// Sharding adds no persistent state (shard streams are derived per
+  /// aggregate application), so the schema is shard-count-independent.
   [[nodiscard]] json save_state() const override;
   void restore_state(const json& snapshot) override;
 
@@ -110,32 +126,6 @@ class multibatch_engine final : public sim_engine {
   /// compiled out in Release. restore_state enforces the same relations
   /// unconditionally via PPG_CHECK.
   void check_round_invariants() const;
-
-  /// Draws the number of collision-free interactions before the next
-  /// collision when all n agents are untouched (the exact birthday law).
-  [[nodiscard]] std::uint64_t sample_collision_free_run();
-
-  /// Applies `free` collision-free interactions in one aggregate (the MVH
-  /// pair table + multinomial outcome splits), moving 2*free agents from
-  /// the untouched pool to the touched pool.
-  void apply_free_aggregate(std::uint64_t free);
-
-  /// Applies `free` collision-free interactions one pair at a time (the
-  /// census engine's law restricted to untouched agents); cheaper than the
-  /// aggregate path for short runs.
-  void apply_free_sequential(std::uint64_t free);
-
-  /// Applies `m` interactions of the ordered state pair (u, v): splits the
-  /// outcomes multinomially and updates the census and the touched pool.
-  void apply_pair_type(agent_state u, agent_state v, std::uint64_t m);
-
-  /// Resolves the round-ending colliding interaction: an ordered agent pair
-  /// with at least one touched agent, sampled by category weights
-  /// {touched-touched, touched-untouched, untouched-touched}.
-  void resolve_collision();
-
-  /// Returns all touched agents to the untouched pool (end of round).
-  void merge_touched();
 
   std::shared_ptr<const kernel_table> kernel_;
   std::vector<std::uint64_t> counts_;     ///< current census
@@ -151,11 +141,7 @@ class multibatch_engine final : public sim_engine {
   /// it reaches 0 with collision_pending_, the next interaction collides.
   std::uint64_t pending_free_ = 0;
   bool collision_pending_ = false;
-  /// Runs shorter than this take the sequential path: below it the O(q^2)
-  /// aggregate tables cost more than per-pair sampling.
-  std::uint64_t aggregate_threshold_;
-  double log_ordered_pairs_;  ///< log(n(n-1)), cached for the birthday law
-  std::vector<double> outcome_probs_;  ///< scratch for multinomial splits
+  multibatch_executor executor_;  ///< the shared round core
 };
 
 }  // namespace ppg

@@ -1,0 +1,323 @@
+#include "ppg/pp/multibatch_round.hpp"
+
+#include <algorithm>
+
+#include "ppg/util/error.hpp"
+
+namespace ppg {
+namespace {
+
+constexpr agent_state no_excluded_state = static_cast<agent_state>(-1);
+
+/// The state holding the `target`-th agent (0-indexed) of the pool when its
+/// agents are ordered by state; `excluded` removes one agent of that state
+/// first (no_excluded_state removes none).
+agent_state locate(const std::uint64_t* pool, std::size_t width,
+                   std::uint64_t target, agent_state excluded) {
+  for (std::size_t s = 0; s < width; ++s) {
+    const std::uint64_t c = pool[s] - (s == excluded ? 1u : 0u);
+    if (target < c) return static_cast<agent_state>(s);
+    target -= c;
+  }
+  PPG_CHECK(false, "multibatch sampling target out of range");
+}
+
+}  // namespace
+
+multibatch_executor::multibatch_executor(
+    std::shared_ptr<const kernel_table> kernel, std::size_t width,
+    std::uint64_t n)
+    : kernel_(std::move(kernel)), width_(width), n_(n), birthday_(n) {
+  PPG_CHECK(kernel_ != nullptr, "multibatch executor needs a kernel");
+  PPG_CHECK(width_ >= kernel_->num_states(),
+            "census state space smaller than the protocol's");
+  PPG_CHECK(n_ >= 2, "a protocol needs at least two agents");
+  // Collision-category weights (t*u etc.) must not overflow: n^2 < 2^63.
+  PPG_CHECK(n_ <= 3'000'000'000ull, "multibatch engine caps n at 3e9");
+  const auto q = static_cast<std::uint64_t>(kernel_->num_states());
+  // Below ~4q^2 interactions the aggregate path's O(q^2) hypergeometric
+  // table costs more than per-pair O(q) sampling, so short runs (small n:
+  // the birthday law scales them as ~sqrt(n)) fall back to the sequential
+  // path and the engine degrades to census-engine cost.
+  aggregate_threshold_ = std::max<std::uint64_t>(16, 4 * q * q);
+  scratch_.resize(1);
+}
+
+std::uint64_t multibatch_executor::shard_count(
+    std::uint64_t free, std::uint64_t aggregate_threshold) {
+  // Grain: no shard smaller than the aggregate threshold (its tables must
+  // amortize) or 512 pairs (below that, per-shard setup dominates).
+  const std::uint64_t grain =
+      std::max<std::uint64_t>(min_shard_grain, aggregate_threshold);
+  return std::clamp<std::uint64_t>(free / grain, 1, max_shards);
+}
+
+void multibatch_executor::set_threads(std::size_t threads) {
+  if (threads <= 1) {
+    pool_.reset();
+    return;
+  }
+  if (!pool_ || pool_->size() != threads) {
+    pool_ = std::make_unique<thread_pool>(threads);
+  }
+  if (scratch_.size() < threads) scratch_.resize(threads);
+}
+
+void multibatch_executor::set_workers(std::size_t workers) {
+  pool_.reset();
+  scratch_.resize(std::max<std::size_t>(1, workers));
+}
+
+void multibatch_executor::apply_pair_type(agent_state u, agent_state v,
+                                          std::uint64_t m, rng& gen,
+                                          worker_scratch& ws) {
+  ws.delta[u] -= static_cast<std::int64_t>(m);
+  ws.delta[v] -= static_cast<std::int64_t>(m);
+  const std::size_t support = kernel_->num_outcomes(u, v);
+  if (support == 1) {
+    // Deterministic pair: no draws, mirroring every engine's fast path.
+    const outcome o = kernel_->outcome_at(u, v, 0);
+    ws.delta[o.initiator] += static_cast<std::int64_t>(m);
+    ws.delta[o.responder] += static_cast<std::int64_t>(m);
+    ws.touched_add[o.initiator] += m;
+    ws.touched_add[o.responder] += m;
+    return;
+  }
+  ws.probs.resize(support);
+  ws.split.resize(support);
+  for (std::size_t k = 0; k < support; ++k) {
+    ws.probs[k] = kernel_->outcome_at(u, v, k).probability;
+  }
+  sample_multinomial(m, ws.probs.data(), support, gen, ws.split.data());
+  for (std::size_t k = 0; k < support; ++k) {
+    if (ws.split[k] == 0) continue;
+    const outcome o = kernel_->outcome_at(u, v, k);
+    ws.delta[o.initiator] += static_cast<std::int64_t>(ws.split[k]);
+    ws.delta[o.responder] += static_cast<std::int64_t>(ws.split[k]);
+    ws.touched_add[o.initiator] += ws.split[k];
+    ws.touched_add[o.responder] += ws.split[k];
+  }
+}
+
+void multibatch_executor::run_shard(std::size_t width,
+                                    const std::uint64_t* initiators,
+                                    std::uint64_t* responders, rng& gen,
+                                    worker_scratch& ws) {
+  // Conditioned on the shard's initiator and responder multisets, the
+  // initiator-responder matching is uniform — realized by splitting the
+  // responder multiset across initiator groups with sequential conditional
+  // MVH rows, exactly as the unsharded round did.
+  const std::size_t q = kernel_->num_states();
+  ws.row.resize(width);
+  for (std::size_t u = 0; u < q; ++u) {
+    if (initiators[u] == 0) continue;
+    sample_multivariate_hypergeometric(responders, width, initiators[u], gen,
+                                       ws.row.data());
+    for (std::size_t v = 0; v < width; ++v) {
+      responders[v] -= ws.row[v];
+      if (ws.row[v] > 0) {
+        apply_pair_type(static_cast<agent_state>(u),
+                        static_cast<agent_state>(v), ws.row[v], gen, ws);
+      }
+    }
+  }
+}
+
+void multibatch_executor::merge_scratch(multibatch_state& st,
+                                        worker_scratch& ws) const {
+  for (std::size_t s = 0; s < st.width; ++s) {
+    if (ws.delta[s] != 0) {
+      st.counts[s] = static_cast<std::uint64_t>(
+          static_cast<std::int64_t>(st.counts[s]) + ws.delta[s]);
+    }
+    st.touched[s] += ws.touched_add[s];
+  }
+}
+
+void multibatch_executor::apply_free_aggregate(multibatch_state& st,
+                                               std::uint64_t free,
+                                               std::size_t worker) {
+  PPG_DCHECK(!pool_ || worker == 0,
+             "sharded aggregate phases are single-caller");
+  worker_scratch& ws = scratch_[worker];
+  const std::uint64_t shards = shard_count(free, aggregate_threshold_);
+  // One master draw seeds every shard stream of this application; the
+  // split sizes are deterministic (free/L, remainder to the first shards).
+  const std::uint64_t app_seed = (*st.gen)();
+  const std::uint64_t base = free / shards;
+  const std::uint64_t extra = free % shards;
+  ws.shard_init.assign(static_cast<std::size_t>(shards) * st.width, 0);
+  ws.shard_resp.assign(static_cast<std::size_t>(shards) * st.width, 0);
+  // Conditional MVH splits on the master stream, in shard order: shard k
+  // draws its initiator then responder multiset from the pool remaining
+  // after shards < k, which gives the union of all shards the law of one
+  // joint 2*free-agent draw (without-replacement sampling is exchangeable
+  // and consistent under sequential subsampling).
+  for (std::uint64_t k = 0; k < shards; ++k) {
+    const std::uint64_t fk = base + (k < extra ? 1 : 0);
+    std::uint64_t* init =
+        ws.shard_init.data() + static_cast<std::size_t>(k) * st.width;
+    std::uint64_t* resp =
+        ws.shard_resp.data() + static_cast<std::size_t>(k) * st.width;
+    sample_multivariate_hypergeometric(st.untouched, st.width, fk, *st.gen,
+                                       init);
+    for (std::size_t s = 0; s < st.width; ++s) st.untouched[s] -= init[s];
+    st.untouched_total -= fk;
+    sample_multivariate_hypergeometric(st.untouched, st.width, fk, *st.gen,
+                                       resp);
+    for (std::size_t s = 0; s < st.width; ++s) st.untouched[s] -= resp[s];
+    st.untouched_total -= fk;
+  }
+  if (pool_ && shards > 1) {
+    // Parallel phase: each task owns its scratch slot and accumulates the
+    // shards it claims into an integer delta; the merge below is a plain
+    // sum, so the census is bit-identical whatever the shard-to-worker
+    // assignment.
+    const std::size_t tasks =
+        std::min<std::size_t>(pool_->size(), static_cast<std::size_t>(shards));
+    for (std::size_t t = 0; t < tasks; ++t) {
+      scratch_[t].delta.assign(st.width, 0);
+      scratch_[t].touched_add.assign(st.width, 0);
+    }
+    pool_->run_sharded(
+        static_cast<std::size_t>(shards),
+        [&](std::size_t w, std::size_t k) {
+          worker_scratch& sw = scratch_[w];
+          rng shard_gen(derive_stream_seed(app_seed, k));
+          run_shard(st.width, ws.shard_init.data() + k * st.width,
+                    ws.shard_resp.data() + k * st.width, shard_gen, sw);
+        });
+    for (std::size_t t = 0; t < tasks; ++t) {
+      merge_scratch(st, scratch_[t]);
+    }
+  } else {
+    ws.delta.assign(st.width, 0);
+    ws.touched_add.assign(st.width, 0);
+    for (std::uint64_t k = 0; k < shards; ++k) {
+      rng shard_gen(derive_stream_seed(app_seed, k));
+      run_shard(st.width,
+                ws.shard_init.data() + static_cast<std::size_t>(k) * st.width,
+                ws.shard_resp.data() + static_cast<std::size_t>(k) * st.width,
+                shard_gen, ws);
+    }
+    merge_scratch(st, ws);
+  }
+}
+
+void multibatch_executor::apply_free_sequential(multibatch_state& st,
+                                                std::uint64_t free) {
+  rng& gen = *st.gen;
+  for (std::uint64_t i = 0; i < free; ++i) {
+    const agent_state u = locate(st.untouched, st.width,
+                                 gen.next_below(st.untouched_total),
+                                 no_excluded_state);
+    const agent_state v = locate(st.untouched, st.width,
+                                 gen.next_below(st.untouched_total - 1), u);
+    const auto [next_initiator, next_responder] = kernel_->sample(u, v, gen);
+    --st.untouched[u];
+    --st.untouched[v];
+    st.untouched_total -= 2;
+    ++st.touched[next_initiator];
+    ++st.touched[next_responder];
+    --st.counts[u];
+    --st.counts[v];
+    ++st.counts[next_initiator];
+    ++st.counts[next_responder];
+  }
+}
+
+void multibatch_executor::resolve_collision(multibatch_state& st) {
+  rng& gen = *st.gen;
+  const std::uint64_t u_total = st.untouched_total;
+  const std::uint64_t t_total = st.n - u_total;
+  // An ordered pair of distinct agents conditioned on >= 1 touched agent:
+  // categories touched-touched, touched-untouched, untouched-touched with
+  // weights t(t-1), t*u, u*t (their sum is n(n-1) - u(u-1)).
+  const std::uint64_t tt = t_total * (t_total - 1);
+  const std::uint64_t tu = t_total * u_total;
+  std::uint64_t x = gen.next_below(tt + 2 * tu);
+  agent_state initiator;
+  agent_state responder;
+  bool initiator_touched;
+  bool responder_touched;
+  if (x < tt) {
+    initiator = locate(st.touched, st.width, gen.next_below(t_total),
+                       no_excluded_state);
+    responder = locate(st.touched, st.width, gen.next_below(t_total - 1),
+                       initiator);
+    initiator_touched = responder_touched = true;
+  } else if (x < tt + tu) {
+    initiator = locate(st.touched, st.width, gen.next_below(t_total),
+                       no_excluded_state);
+    responder = locate(st.untouched, st.width, gen.next_below(u_total),
+                       no_excluded_state);
+    initiator_touched = true;
+    responder_touched = false;
+  } else {
+    initiator = locate(st.untouched, st.width, gen.next_below(u_total),
+                       no_excluded_state);
+    responder = locate(st.touched, st.width, gen.next_below(t_total),
+                       no_excluded_state);
+    initiator_touched = false;
+    responder_touched = true;
+  }
+  const auto [next_initiator, next_responder] =
+      kernel_->sample(initiator, responder, gen);
+  --(initiator_touched ? st.touched : st.untouched)[initiator];
+  --(responder_touched ? st.touched : st.untouched)[responder];
+  st.untouched_total -=
+      (initiator_touched ? 0u : 1u) + (responder_touched ? 0u : 1u);
+  ++st.touched[next_initiator];
+  ++st.touched[next_responder];
+  --st.counts[initiator];
+  --st.counts[responder];
+  ++st.counts[next_initiator];
+  ++st.counts[next_responder];
+}
+
+void multibatch_executor::merge_touched(multibatch_state& st) {
+  for (std::size_t s = 0; s < st.width; ++s) {
+    st.untouched[s] += st.touched[s];
+    st.touched[s] = 0;
+  }
+  st.untouched_total = st.n;
+}
+
+void multibatch_executor::run(multibatch_state& st, std::uint64_t steps,
+                              std::size_t worker) {
+  PPG_DCHECK(worker < scratch_.size(),
+             "multibatch executor: worker index out of range");
+  std::uint64_t remaining = steps;
+  while (remaining > 0) {
+    if (!st.collision_pending) {
+      // New round: every agent is untouched (merge_touched ran), so the
+      // birthday law starts from the full pool.
+      st.pending_free = birthday_.sample(*st.gen);
+      st.collision_pending = true;
+      ++st.rounds;
+    }
+    if (st.pending_free > 0) {
+      // A run truncated by the step budget stays lawful: the remainder is
+      // carried in pending_free and continues in the next call, so no
+      // redraw is needed (and the birthday law is not memoryless).
+      const std::uint64_t free = std::min(st.pending_free, remaining);
+      if (free < aggregate_threshold_) {
+        apply_free_sequential(st, free);
+      } else {
+        apply_free_aggregate(st, free, worker);
+      }
+      st.pending_free -= free;
+      remaining -= free;
+      st.interactions += free;
+    }
+    if (remaining == 0) break;
+    resolve_collision(st);
+    ++st.collisions;
+    ++st.interactions;
+    --remaining;
+    st.collision_pending = false;
+    merge_touched(st);
+  }
+}
+
+}  // namespace ppg

@@ -214,37 +214,39 @@ bool http_connection::write_response(const http_response& response,
 }
 
 tcp_listener::tcp_listener(std::uint16_t port) {
-  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd_ < 0) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
     throw http_error(500, std::string("socket(): ") + std::strerror(errno));
   }
   const int reuse = 1;
-  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
 
   sockaddr_in address{};
   address.sin_family = AF_INET;
   address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   address.sin_port = htons(port);
-  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&address),
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&address),
              sizeof(address)) != 0 ||
-      ::listen(fd_, SOMAXCONN) != 0) {
+      ::listen(fd, SOMAXCONN) != 0) {
     const std::string what = std::strerror(errno);
-    ::close(fd_);
-    fd_ = -1;
+    ::close(fd);
     throw http_error(500, "bind/listen on port " + std::to_string(port) +
                               ": " + what);
   }
   sockaddr_in bound{};
   socklen_t bound_size = sizeof(bound);
-  ::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &bound_size);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_size);
   port_ = ntohs(bound.sin_port);
+  fd_.store(fd);
 }
 
 tcp_listener::~tcp_listener() { shut_down(); }
 
 int tcp_listener::accept_connection() {
   for (;;) {
-    const int fd = ::accept(fd_, nullptr, nullptr);
+    const int listen_fd = fd_.load();
+    if (listen_fd < 0) return -1;
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd >= 0) return fd;
     if (errno == EINTR) continue;
     return -1;  // listener shut down (or unrecoverable): stop accepting
@@ -252,11 +254,12 @@ int tcp_listener::accept_connection() {
 }
 
 void tcp_listener::shut_down() {
-  if (fd_ < 0) return;
+  // exchange() makes a concurrent or repeated shut_down close exactly once.
+  const int fd = fd_.exchange(-1);
+  if (fd < 0) return;
   // shutdown() unblocks a concurrent accept(); close() releases the port.
-  ::shutdown(fd_, SHUT_RDWR);
-  ::close(fd_);
-  fd_ = -1;
+  ::shutdown(fd, SHUT_RDWR);
+  ::close(fd);
 }
 
 }  // namespace ppg

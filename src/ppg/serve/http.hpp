@@ -13,6 +13,7 @@
 // second bounded parse at the app layer (util/json parse_limits).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <stdexcept>
@@ -121,7 +122,9 @@ class tcp_listener {
   void shut_down();
 
  private:
-  int fd_ = -1;
+  /// Atomic: shut_down() races with the acceptor thread's reads by design
+  /// (that is how it unblocks a blocking accept()).
+  std::atomic<int> fd_{-1};
   std::uint16_t port_ = 0;
 };
 

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 
+#include "ppg/stats/distributions.hpp"
 #include "ppg/util/error.hpp"
 
 namespace ppg {
@@ -19,7 +20,7 @@ double gamma_p_series(double a, double x) {
     sum += term;
     if (std::abs(term) < std::abs(sum) * 1e-15) break;
   }
-  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+  return sum * std::exp(-x + a * std::log(x) - log_gamma(a));
 }
 
 // Continued-fraction representation of Q(a, x) = 1 - P(a, x) (Lentz's
@@ -42,7 +43,7 @@ double gamma_q_continued_fraction(double a, double x) {
     h *= delta;
     if (std::abs(delta - 1.0) < 1e-15) break;
   }
-  return h * std::exp(-x + a * std::log(x) - std::lgamma(a));
+  return h * std::exp(-x + a * std::log(x) - log_gamma(a));
 }
 
 }  // namespace

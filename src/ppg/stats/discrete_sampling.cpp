@@ -156,47 +156,105 @@ std::uint64_t sample_hypergeometric(std::uint64_t total, std::uint64_t marked,
   return x;
 }
 
-std::vector<std::uint64_t> sample_multivariate_hypergeometric(
-    const std::vector<std::uint64_t>& counts, std::uint64_t draws, rng& gen) {
-  PPG_CHECK(!counts.empty(),
+void sample_multivariate_hypergeometric(const std::uint64_t* counts,
+                                        std::size_t size, std::uint64_t draws,
+                                        rng& gen, std::uint64_t* out) {
+  PPG_CHECK(size > 0,
             "sample_multivariate_hypergeometric needs a non-empty census");
   std::uint64_t remaining_population = 0;
-  for (const auto c : counts) remaining_population += c;
+  for (std::size_t i = 0; i < size; ++i) remaining_population += counts[i];
   PPG_CHECK(draws <= remaining_population,
             "sample_multivariate_hypergeometric: more draws than items");
-  std::vector<std::uint64_t> out(counts.size(), 0);
+  for (std::size_t i = 0; i < size; ++i) out[i] = 0;
   std::uint64_t remaining_draws = draws;
-  for (std::size_t i = 0; i + 1 < counts.size() && remaining_draws > 0;
-       ++i) {
+  for (std::size_t i = 0; i + 1 < size && remaining_draws > 0; ++i) {
     const std::uint64_t x = sample_hypergeometric(
         remaining_population, counts[i], remaining_draws, gen);
     out[i] = x;
     remaining_draws -= x;
     remaining_population -= counts[i];
   }
-  out.back() += remaining_draws;
+  out[size - 1] += remaining_draws;
+}
+
+std::vector<std::uint64_t> sample_multivariate_hypergeometric(
+    const std::vector<std::uint64_t>& counts, std::uint64_t draws, rng& gen) {
+  std::vector<std::uint64_t> out(counts.size(), 0);
+  sample_multivariate_hypergeometric(counts.data(), counts.size(), draws, gen,
+                                     out.data());
   return out;
 }
 
-std::vector<std::uint64_t> sample_multinomial(std::uint64_t m,
-                                              const std::vector<double>& probs,
-                                              rng& gen) {
-  PPG_CHECK(!probs.empty(), "sample_multinomial needs a non-empty support");
-  std::vector<std::uint64_t> counts(probs.size(), 0);
+void sample_multinomial(std::uint64_t m, const double* probs,
+                        std::size_t size, rng& gen, std::uint64_t* out) {
+  PPG_CHECK(size > 0, "sample_multinomial needs a non-empty support");
+  for (std::size_t i = 0; i < size; ++i) out[i] = 0;
   double remaining_prob = 1.0;
   std::uint64_t remaining = m;
-  for (std::size_t i = 0; i + 1 < probs.size() && remaining > 0; ++i) {
+  for (std::size_t i = 0; i + 1 < size && remaining > 0; ++i) {
     const double conditional =
         remaining_prob <= 0.0 ? 0.0 : probs[i] / remaining_prob;
     const std::uint64_t draw =
         sample_binomial(remaining, std::min(1.0, std::max(0.0, conditional)),
                         gen);
-    counts[i] = draw;
+    out[i] = draw;
     remaining -= draw;
     remaining_prob -= probs[i];
   }
-  counts.back() += remaining;
+  out[size - 1] += remaining;
+}
+
+std::vector<std::uint64_t> sample_multinomial(std::uint64_t m,
+                                              const std::vector<double>& probs,
+                                              rng& gen) {
+  std::vector<std::uint64_t> counts(probs.size(), 0);
+  sample_multinomial(m, probs.data(), probs.size(), gen, counts.data());
   return counts;
+}
+
+collision_run_sampler::collision_run_sampler(std::uint64_t n) : n_(n) {
+  PPG_CHECK(n >= 2, "the birthday law needs at least two agents");
+  // Tabulate until the survival falls below every level a positive
+  // next_double() can produce: the smallest positive 53-bit uniform is
+  // 2^-53, log = -36.74, so entries below -38 are unreachable by inversion.
+  constexpr double log_cutoff = -38.0;
+  const double log_pairs = std::log(static_cast<double>(n)) +
+                           std::log(static_cast<double>(n - 1));
+  const std::uint64_t support_max = n / 2;
+  log_survival_.reserve(static_cast<std::size_t>(std::min<double>(
+      static_cast<double>(support_max) + 1.0,
+      std::sqrt(19.5 * static_cast<double>(n)) + 16.0)));
+  double ls = 0.0;
+  log_survival_.push_back(ls);
+  for (std::uint64_t j = 0; j < support_max; ++j) {
+    ls += std::log(static_cast<double>(n - 2 * j)) +
+          std::log(static_cast<double>(n - 2 * j - 1)) - log_pairs;
+    log_survival_.push_back(ls);
+    if (ls < log_cutoff) break;
+  }
+}
+
+std::uint64_t collision_run_sampler::sample(rng& gen) const {
+  double u = gen.next_double();
+  while (u <= 0.0) u = gen.next_double();
+  const double log_u = std::log(u);
+  // Largest tabulated j with log S(j) >= log u. Entry 0 is log 1 = 0 >
+  // log u, and the table's tail is either below every reachable log u or
+  // the end of the support (the pool holds at most n/2 disjoint pairs).
+  std::size_t lo = 0;
+  std::size_t hi = log_survival_.size() - 1;
+  if (log_survival_[hi] >= log_u) {
+    return std::max<std::uint64_t>(hi, 1);
+  }
+  while (hi - lo > 1) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (log_survival_[mid] >= log_u) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return std::max<std::uint64_t>(lo, 1);
 }
 
 std::size_t sample_categorical(const std::vector<double>& probs, rng& gen) {

@@ -42,11 +42,59 @@ namespace ppg {
 [[nodiscard]] std::vector<std::uint64_t> sample_multivariate_hypergeometric(
     const std::vector<std::uint64_t>& counts, std::uint64_t draws, rng& gen);
 
+/// Allocation-free form of the multivariate hypergeometric draw over a raw
+/// census slice (the ensemble engine's SoA planes and the sharded
+/// multibatch's per-shard splits): writes the per-category counts into
+/// `out[0..size)`. Draw-for-draw identical to the vector overload.
+void sample_multivariate_hypergeometric(const std::uint64_t* counts,
+                                        std::size_t size, std::uint64_t draws,
+                                        rng& gen, std::uint64_t* out);
+
 /// Draws a sample count vector from Multinomial(m, probs) by sequential
 /// conditional binomials (probs must be non-negative and sum to 1 up to
 /// rounding; the last category absorbs the remainder).
 [[nodiscard]] std::vector<std::uint64_t> sample_multinomial(
     std::uint64_t m, const std::vector<double>& probs, rng& gen);
+
+/// Allocation-free multinomial over a raw probability slice; writes the
+/// category counts into `out[0..size)`. Draw-for-draw identical to the
+/// vector overload.
+void sample_multinomial(std::uint64_t m, const double* probs,
+                        std::size_t size, rng& gen, std::uint64_t* out);
+
+/// The exact "birthday" law of the multibatch engine's aggregated rounds:
+/// the number J of collision-free ordered agent pairs drawn, without
+/// replacement, from a pool of n agents before the first pair that would
+/// re-use an agent, P(J > j) = prod_{i<j} (n-2i)(n-2i-1) / (n(n-1)).
+///
+/// The log-survival curve is tabulated once per population size by the
+/// incremental recurrence log S(j+1) = log S(j) + log(n-2j) + log(n-2j-1)
+/// - log(n(n-1)) — O(sqrt(n)) entries, because the curve falls below the
+/// finest level a 53-bit uniform can resolve after ~sqrt(19 n) pairs — so
+/// each draw is one uniform plus a binary search with no lgamma calls
+/// (previously ~2 lgammas per probe, the dominant per-round cost on dense
+/// low-q games). The table depends only on n: one sampler is shared across
+/// every replica of an ensemble and across all rounds of a trajectory.
+class collision_run_sampler {
+ public:
+  explicit collision_run_sampler(std::uint64_t n);
+
+  [[nodiscard]] std::uint64_t population_size() const { return n_; }
+
+  /// Draws J by inversion: max{j : S(j) >= U} for one positive uniform U,
+  /// clamped to >= 1 (S(1) = 1 exactly — the first pair of a round cannot
+  /// collide — so the clamp only guards log-domain rounding).
+  [[nodiscard]] std::uint64_t sample(rng& gen) const;
+
+  /// Tabulated log P(J > j); exposed for the law tests.
+  [[nodiscard]] const std::vector<double>& log_survival() const {
+    return log_survival_;
+  }
+
+ private:
+  std::uint64_t n_;
+  std::vector<double> log_survival_;  ///< index j = 0..j_max
+};
 
 /// Draws an index from a finite categorical distribution (probs need not be
 /// normalized; they must be non-negative with a positive sum).

@@ -7,20 +7,29 @@
 
 namespace ppg {
 
+double log_gamma(double x) {
+#if defined(__GLIBC__) || defined(__APPLE__) || defined(__FreeBSD__)
+  int sign = 0;  // discarded: every caller here has Γ(x) > 0
+  return ::lgamma_r(x, &sign);
+#else
+  return std::lgamma(x);
+#endif
+}
+
 double log_binomial_coefficient(std::uint64_t n, std::uint64_t k) {
   PPG_CHECK(k <= n, "binomial coefficient requires k <= n");
-  return std::lgamma(static_cast<double>(n) + 1.0) -
-         std::lgamma(static_cast<double>(k) + 1.0) -
-         std::lgamma(static_cast<double>(n - k) + 1.0);
+  return log_gamma(static_cast<double>(n) + 1.0) -
+         log_gamma(static_cast<double>(k) + 1.0) -
+         log_gamma(static_cast<double>(n - k) + 1.0);
 }
 
 double log_multinomial_coefficient(std::uint64_t m,
                                    const std::vector<std::uint64_t>& x) {
   std::uint64_t sum = 0;
-  double log_coeff = std::lgamma(static_cast<double>(m) + 1.0);
+  double log_coeff = log_gamma(static_cast<double>(m) + 1.0);
   for (const auto xi : x) {
     sum += xi;
-    log_coeff -= std::lgamma(static_cast<double>(xi) + 1.0);
+    log_coeff -= log_gamma(static_cast<double>(xi) + 1.0);
   }
   PPG_CHECK(sum == m, "multinomial counts must sum to m");
   return log_coeff;

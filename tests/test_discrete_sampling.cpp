@@ -254,5 +254,78 @@ TEST(DiscreteSampling, TwoRunsAreBitIdentical) {
   EXPECT_EQ(draw_all(rng(777)), draw_all(rng(777)));
 }
 
+TEST(DiscreteSampling, PointerOverloadsAreDrawForDrawIdentical) {
+  // The allocation-free MVH/multinomial forms (the ensemble and sharded
+  // paths) must consume the exact draw sequence of the vector forms.
+  rng gen_a(55);
+  rng gen_b(55);
+  const std::vector<std::uint64_t> counts = {700, 250, 50, 0, 1000};
+  const std::vector<double> probs = {0.1, 0.4, 0.2, 0.3};
+  for (int t = 0; t < 200; ++t) {
+    const auto mvh = sample_multivariate_hypergeometric(counts, 333, gen_a);
+    std::vector<std::uint64_t> mvh_out(counts.size());
+    sample_multivariate_hypergeometric(counts.data(), counts.size(), 333,
+                                       gen_b, mvh_out.data());
+    ASSERT_EQ(mvh_out, mvh);
+    const auto mn = sample_multinomial(500, probs, gen_a);
+    std::vector<std::uint64_t> mn_out(probs.size());
+    sample_multinomial(500, probs.data(), probs.size(), gen_b,
+                       mn_out.data());
+    ASSERT_EQ(mn_out, mn);
+  }
+  // The generators themselves stay in lockstep.
+  EXPECT_EQ(gen_a(), gen_b());
+}
+
+TEST(DiscreteSampling, CollisionRunSamplerTableMatchesTheBirthdayLaw) {
+  // log S(j) = log n! - log (n-2j)! - j log(n(n-1)), computed directly via
+  // lgamma, must match the incremental table within accumulated rounding.
+  for (const std::uint64_t n : {2ull, 10ull, 1000ull, 123'456ull}) {
+    const collision_run_sampler sampler(n);
+    EXPECT_EQ(sampler.population_size(), n);
+    const auto& table = sampler.log_survival();
+    ASSERT_GE(table.size(), 2u);
+    EXPECT_EQ(table[0], 0.0);
+    EXPECT_EQ(table[1], 0.0);  // S(1) = 1: the first pair cannot collide
+    const double lg_n1 = std::lgamma(static_cast<double>(n) + 1.0);
+    const double log_pairs = std::log(static_cast<double>(n)) +
+                             std::log(static_cast<double>(n - 1));
+    for (std::size_t j = 0; j < table.size(); ++j) {
+      const double direct =
+          lg_n1 - std::lgamma(static_cast<double>(n - 2 * j) + 1.0) -
+          static_cast<double>(j) * log_pairs;
+      EXPECT_NEAR(table[j], direct, 1e-7) << "n=" << n << " j=" << j;
+    }
+    // The table covers the support or reaches below every level a 53-bit
+    // uniform can ask for (log 2^-53 ~ -36.74).
+    EXPECT_TRUE(table.size() == n / 2 + 1 || table.back() < -36.8);
+  }
+}
+
+TEST(DiscreteSampling, CollisionRunSamplerMomentsAndSupport) {
+  const std::uint64_t n = 10'000;
+  const collision_run_sampler sampler(n);
+  // E[J] = sum_j P(J > j), computable from the tabulated survival.
+  double expected = 0.0;
+  for (const double ls : sampler.log_survival()) expected += std::exp(ls);
+  rng gen(66);
+  running_summary s;
+  constexpr int trials = 20000;
+  for (int t = 0; t < trials; ++t) {
+    const std::uint64_t j = sampler.sample(gen);
+    ASSERT_GE(j, 1u);
+    ASSERT_LE(j, n / 2);
+    s.add(static_cast<double>(j));
+  }
+  EXPECT_NEAR(s.mean(), expected,
+              5.0 * s.stddev() / std::sqrt(static_cast<double>(trials)));
+  // Determinism: equal seeds, equal draws.
+  rng gen_a(67);
+  rng gen_b(67);
+  for (int t = 0; t < 100; ++t) {
+    EXPECT_EQ(sampler.sample(gen_a), sampler.sample(gen_b));
+  }
+}
+
 }  // namespace
 }  // namespace ppg

@@ -41,6 +41,12 @@ scenario_result run_g2(const scenario_context& ctx) {
       relax_to_fixed_point(ode, {0.95, 0.05}, 0.02, 1e-12, 2000.0);
   const auto from_doves =
       relax_to_fixed_point(ode, {0.05, 0.95}, 0.02, 1e-12, 2000.0);
+  // The engines below are compared against from_hawks.state, so an
+  // unconverged relaxation would silently gate against a meaningless
+  // point; the convergence report makes that impossible.
+  const bool ode_converged = from_hawks.converged && from_doves.converged;
+  result.param("ode_iterations", from_hawks.iterations);
+  result.param("ode_residual", from_hawks.residual);
   const double fixed_point_gap =
       std::abs(from_hawks.state[0] - from_doves.state[0]);
   const double hawk_star = from_hawks.state[0];
@@ -84,6 +90,8 @@ scenario_result run_g2(const scenario_context& ctx) {
   result.metric("ess_gap", std::abs(hawk_star - ess_hawk));
   result.metric("fixed_point_gap", fixed_point_gap, metric_goal::minimize);
   result.metric("max_tv_to_mean_field", max_tv, metric_goal::minimize);
+  result.metric("ode_converged", ode_converged ? 1.0 : 0.0,
+                metric_goal::maximize);
   result.note(
       "Expected shape: both ODE relaxations land on one interior fixed\n"
       "point (gap ~0) near the mixed ESS v/c, and every engine's\n"

@@ -69,9 +69,16 @@ void run_and_compare(const std::string& label, const game_matrix& game,
   out.print(std::cout);
   std::cout << "  mean |census - ODE| = "
             << fmt(mean_abs_gap / static_cast<double>(game.num_strategies()),
-                   5)
-            << (fixed.converged ? "" : "  (ODE not yet at a fixed point)")
-            << "\n\n";
+                   5);
+  if (fixed.converged) {
+    std::cout << "  (ODE converged in " << fixed.iterations
+              << " RK4 steps, residual " << fmt_sci(fixed.residual) << ")";
+  } else {
+    std::cout << "  (ODE not at a fixed point after " << fixed.iterations
+              << " RK4 steps: cycling dynamics — the comparison point is "
+                 "where integration stopped, not a prediction)";
+  }
+  std::cout << "\n\n";
 }
 
 }  // namespace

@@ -63,6 +63,7 @@ double game_matrix::average_payoff(const std::vector<double>& mix) const {
 
 std::vector<std::size_t> game_matrix::best_responses(
     const std::vector<double>& mix, double tol) const {
+  PPG_CHECK(tol >= 0.0, "tie tolerance must be non-negative");
   double best = expected_payoff(0, mix);
   for (std::size_t s = 1; s < names_.size(); ++s) {
     best = std::max(best, expected_payoff(s, mix));
@@ -70,6 +71,20 @@ std::vector<std::size_t> game_matrix::best_responses(
   std::vector<std::size_t> out;
   for (std::size_t s = 0; s < names_.size(); ++s) {
     if (expected_payoff(s, mix) >= best - tol) out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<std::size_t> game_matrix::best_responses_to_pure(
+    std::size_t theirs, double tol) const {
+  PPG_CHECK(tol >= 0.0, "tie tolerance must be non-negative");
+  double best = payoff(0, theirs);
+  for (std::size_t s = 1; s < names_.size(); ++s) {
+    best = std::max(best, payoff(s, theirs));
+  }
+  std::vector<std::size_t> out;
+  for (std::size_t s = 0; s < names_.size(); ++s) {
+    if (payoff(s, theirs) >= best - tol) out.push_back(s);
   }
   return out;
 }

@@ -58,10 +58,22 @@ class game_matrix {
   /// Population-average payoff when everyone plays `mix` against `mix`.
   [[nodiscard]] double average_payoff(const std::vector<double>& mix) const;
 
-  /// All pure best responses to an opponent playing `mix` (payoff within
-  /// `tol` of the maximum).
+  /// All pure best responses to an opponent playing `mix`: every strategy
+  /// whose expected payoff is within the *absolute* tie tolerance `tol` of
+  /// the maximum (tol >= 0 required; tol = 0 is exact comparison). The
+  /// tolerance is how degenerate games are handled honestly: payoffs that
+  /// tie only up to floating-point noise are reported as joint best
+  /// responses rather than arbitrarily ranked, so callers (the solver's
+  /// stability classifier, the BR cycle detector) see the true tie
+  /// structure. Callers comparing payoffs on very different scales should
+  /// pass a tolerance scaled by payoff_span().
   [[nodiscard]] std::vector<std::size_t> best_responses(
       const std::vector<double>& mix, double tol = 1e-12) const;
+
+  /// Same, against an opponent playing pure strategy `theirs` — exact
+  /// payoff lookups, no expected-value rounding.
+  [[nodiscard]] std::vector<std::size_t> best_responses_to_pure(
+      std::size_t theirs, double tol = 1e-12) const;
 
  private:
   std::vector<std::string> names_;

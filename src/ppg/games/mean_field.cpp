@@ -150,6 +150,7 @@ mean_field_fixed_point relax_to_fixed_point(const mean_field_ode& ode,
     if (result.time >= t_max) return result;
     result.state = rk4_from(ode, result.state, k1, dt);
     result.time += dt;
+    ++result.iterations;
   }
 }
 

@@ -66,12 +66,17 @@ struct mean_field_trajectory {
     const mean_field_ode& ode, std::vector<double> x0, double dt,
     std::uint64_t steps, std::uint64_t record_every = 1);
 
-/// Result of relaxing the ODE toward a fixed point.
+/// Result of relaxing the ODE toward a fixed point — a full convergence
+/// report, not just the last iterate: callers must branch on `converged`
+/// (an unconverged relaxation means the dynamics cycle or drift on the
+/// horizon, and `state` is then just where integration stopped — see
+/// DESIGN.md §12 on when the prediction is trusted).
 struct mean_field_fixed_point {
   std::vector<double> state;
-  double time = 0.0;      ///< integration time spent
-  double residual = 0.0;  ///< ||drift||_1 at `state`
-  bool converged = false;
+  double time = 0.0;               ///< integration time spent
+  double residual = 0.0;           ///< ||drift||_1 at `state`
+  std::uint64_t iterations = 0;    ///< RK4 steps taken
+  bool converged = false;          ///< residual <= tol before t_max
 };
 
 /// Integrates from x0 until ||drift||_1 <= tol (converged) or t_max is

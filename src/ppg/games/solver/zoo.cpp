@@ -1,0 +1,44 @@
+#include "ppg/games/solver/zoo.hpp"
+
+#include <utility>
+
+#include "ppg/util/error.hpp"
+#include "ppg/util/rng.hpp"
+
+namespace ppg {
+
+zoo_entry random_zoo_game(std::uint64_t seed, std::size_t q,
+                          std::size_t index) {
+  PPG_CHECK(q >= 2, "a matrix game needs at least two strategies");
+  // One derived stream per (q, index) pair, so adding sizes or raising the
+  // per-size count never reshuffles the games already in the zoo.
+  rng gen = make_stream_rng(seed, (q << 16) | index);
+  std::vector<std::string> names(q);
+  for (std::size_t s = 0; s < q; ++s) names[s] = "s" + std::to_string(s);
+  std::vector<double> payoffs(q * q);
+  for (auto& p : payoffs) p = 2.0 * gen.next_double() - 1.0;
+  return {"rand-q" + std::to_string(q) + "-" + std::to_string(index),
+          game_matrix(std::move(names), std::move(payoffs))};
+}
+
+std::vector<zoo_entry> make_game_zoo(std::uint64_t seed,
+                                     std::size_t random_per_size,
+                                     std::size_t min_q, std::size_t max_q) {
+  PPG_CHECK(min_q >= 2 && min_q <= max_q, "invalid zoo size range");
+  std::vector<zoo_entry> zoo;
+  zoo.push_back({"donation", donation_matrix()});
+  zoo.push_back({"prisoners-dilemma",
+                 prisoners_dilemma_matrix({3.0, 0.0, 5.0, 1.0})});
+  zoo.push_back({"hawk-dove", hawk_dove_matrix(1.0, 2.0)});
+  zoo.push_back({"stag-hunt", stag_hunt_matrix()});
+  zoo.push_back({"rock-paper-scissors", rock_paper_scissors_matrix()});
+  zoo.push_back({"igt-k3", igt_game_matrix(3)});
+  for (std::size_t q = min_q; q <= max_q; ++q) {
+    for (std::size_t index = 0; index < random_per_size; ++index) {
+      zoo.push_back(random_zoo_game(seed, q, index));
+    }
+  }
+  return zoo;
+}
+
+}  // namespace ppg

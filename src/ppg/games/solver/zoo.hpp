@@ -1,0 +1,38 @@
+// The generated game zoo the solver and certification layers sweep: every
+// named builder from games/game_matrix.hpp plus seeded random payoff
+// matrices across a range of strategy counts. Random payoffs are drawn
+// uniformly from [-1, 1] with the repo's own rng, so a zoo is a pure
+// function of its seed — the g5 bench gate relies on the same seed
+// producing the same games, equilibria, and solver metrics on every
+// platform.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ppg/games/game_matrix.hpp"
+
+namespace ppg {
+
+struct zoo_entry {
+  std::string name;
+  game_matrix game;
+};
+
+/// A seeded random q-strategy game "rand-q<q>-<index>" with payoffs uniform
+/// in [-1, 1]. Generic with probability 1: ties and singular support
+/// systems have measure zero.
+[[nodiscard]] zoo_entry random_zoo_game(std::uint64_t seed, std::size_t q,
+                                        std::size_t index);
+
+/// The full zoo: the named classics (donation, prisoner's dilemma,
+/// hawk-dove, stag hunt, rock-paper-scissors, the paper's k-IGT matrix),
+/// then `random_per_size` seeded random games for each q in
+/// [min_q, max_q]. Deterministic in `seed`.
+[[nodiscard]] std::vector<zoo_entry> make_game_zoo(
+    std::uint64_t seed, std::size_t random_per_size = 4, std::size_t min_q = 2,
+    std::size_t max_q = 6);
+
+}  // namespace ppg

@@ -1,8 +1,11 @@
 #include "ppg/pp/ensemble_engine.hpp"
 
 #include <algorithm>
+#include <string>
 #include <utility>
 
+#include "ppg/pp/engine.hpp"
+#include "ppg/pp/multibatch_engine.hpp"
 #include "ppg/util/error.hpp"
 
 namespace ppg {
@@ -96,6 +99,81 @@ std::vector<double> ensemble_engine::mean_fractions() const {
       static_cast<double>(replicas_) * static_cast<double>(n_);
   for (auto& x : mean) x /= denom;
   return mean;
+}
+
+json ensemble_engine::save_state() const {
+  json snapshot = json::object();
+  snapshot["state_version"] = engine_state_version;
+  snapshot["engine"] = "multibatch-ensemble";
+  snapshot["master_seed"] = master_seed_;
+  json replicas = json::array();
+  for (std::size_t r = 0; r < replicas_; ++r) {
+    multibatch_snapshot state;
+    const std::uint64_t* base = counts_.data() + r * width_;
+    state.counts.assign(base, base + width_);
+    base = untouched_.data() + r * width_;
+    state.untouched.assign(base, base + width_);
+    base = touched_.data() + r * width_;
+    state.touched.assign(base, base + width_);
+    state.untouched_total = untouched_total_[r];
+    state.interactions = interactions_[r];
+    state.rounds = rounds_[r];
+    state.collisions = collisions_[r];
+    state.pending_free = pending_free_[r];
+    state.collision_pending = collision_pending_[r] != 0;
+    state.gen = gens_[r];
+    replicas.push_back(dump_multibatch_snapshot(state));
+  }
+  snapshot["replicas"] = std::move(replicas);
+  return snapshot;
+}
+
+void ensemble_engine::restore_state(const json& snapshot) {
+  const char* where = "ensemble snapshot";
+  json_require_keys(snapshot,
+                    {"state_version", "engine", "master_seed", "replicas"},
+                    where);
+  const std::uint64_t version =
+      json_require_uint(snapshot, "state_version", where);
+  PPG_CHECK(version == engine_state_version,
+            "ensemble snapshot: unsupported state_version " +
+                std::to_string(version) + " (this build reads " +
+                std::to_string(engine_state_version) + ")");
+  const std::string& name = json_require_string(snapshot, "engine", where);
+  PPG_CHECK(name == "multibatch-ensemble",
+            "ensemble snapshot: engine kind is '" + name + "'");
+  const std::uint64_t master_seed =
+      json_require_uint(snapshot, "master_seed", where);
+  const auto& entries = json_require_array(snapshot, "replicas", where);
+  PPG_CHECK(entries.size() == replicas_,
+            "ensemble snapshot: replica count mismatch — snapshot has " +
+                std::to_string(entries.size()) + ", engine has " +
+                std::to_string(replicas_));
+  // Validate every entry before touching any plane, so a bad snapshot
+  // leaves the ensemble unchanged.
+  std::vector<multibatch_snapshot> states;
+  states.reserve(replicas_);
+  for (const auto& entry : entries) {
+    states.push_back(
+        parse_multibatch_snapshot(entry, width_, n_, kernel_->num_states()));
+  }
+  for (std::size_t r = 0; r < replicas_; ++r) {
+    auto& state = states[r];
+    std::copy(state.counts.begin(), state.counts.end(),
+              counts_.data() + r * width_);
+    std::copy(state.untouched.begin(), state.untouched.end(),
+              untouched_.data() + r * width_);
+    std::copy(state.touched.begin(), state.touched.end(),
+              touched_.data() + r * width_);
+    untouched_total_[r] = state.untouched_total;
+    interactions_[r] = state.interactions;
+    rounds_[r] = state.rounds;
+    collisions_[r] = state.collisions;
+    pending_free_[r] = state.pending_free;
+    collision_pending_[r] = state.collision_pending ? 1 : 0;
+    gens_[r] = state.gen;
+  }
+  master_seed_ = master_seed;
 }
 
 void ensemble_engine::set_threads(std::size_t threads) {

@@ -22,6 +22,7 @@
 #include "ppg/pp/kernel.hpp"
 #include "ppg/pp/multibatch_round.hpp"
 #include "ppg/pp/scheduler.hpp"
+#include "ppg/util/json.hpp"
 #include "ppg/util/rng.hpp"
 #include "ppg/util/thread_pool.hpp"
 
@@ -81,6 +82,22 @@ class ensemble_engine {
   [[nodiscard]] std::size_t threads() const {
     return pool_ ? pool_->size() : 1;
   }
+
+  /// Ensemble snapshot: {"state_version", "engine": "multibatch-ensemble",
+  /// "master_seed", "replicas": [...]}, where each replicas[r] is exactly
+  /// the solo multibatch engine's v1 snapshot of replica r — the per-
+  /// replica schema is shared, not parallel (pp/multibatch_engine.hpp's
+  /// multibatch_snapshot), so a replica entry restores into a solo engine
+  /// and vice versa. Thread count is not persisted (it is an execution
+  /// setting, not state).
+  [[nodiscard]] json save_state() const;
+
+  /// Restores a save_state() snapshot: exact key set, matching replica
+  /// count and recipe shape (width, population, state space), and every
+  /// per-replica invariant the solo engine enforces. The restored RNG
+  /// positions win over the constructor seeding, exactly as in the solo
+  /// engines.
+  void restore_state(const json& snapshot);
 
  private:
   std::shared_ptr<const kernel_table> kernel_;

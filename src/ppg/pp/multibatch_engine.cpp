@@ -1,6 +1,7 @@
 #include "ppg/pp/multibatch_engine.hpp"
 
 #include <algorithm>
+#include <string>
 #include <utility>
 
 #include "ppg/util/error.hpp"
@@ -60,20 +61,28 @@ void multibatch_engine::check_round_invariants() const {
 #endif
 }
 
-json multibatch_engine::save_state() const {
-  json snapshot = snapshot_envelope(interactions_, gen_);
-  snapshot["counts"] = json_uint_array(counts_);
-  snapshot["untouched"] = json_uint_array(untouched_);
-  snapshot["touched"] = json_uint_array(touched_);
-  snapshot["untouched_total"] = untouched_total_;
-  snapshot["rounds"] = rounds_;
-  snapshot["collisions"] = collisions_;
-  snapshot["pending_free"] = pending_free_;
-  snapshot["collision_pending"] = collision_pending_;
+json dump_multibatch_snapshot(const multibatch_snapshot& state) {
+  json snapshot = json::object();
+  snapshot["state_version"] = engine_state_version;
+  snapshot["engine"] = engine_kind_name(engine_kind::multibatch);
+  snapshot["interactions"] = state.interactions;
+  const auto words = state.gen.save();
+  snapshot["rng"] = json_uint_array({words[0], words[1], words[2], words[3]});
+  snapshot["counts"] = json_uint_array(state.counts);
+  snapshot["untouched"] = json_uint_array(state.untouched);
+  snapshot["touched"] = json_uint_array(state.touched);
+  snapshot["untouched_total"] = state.untouched_total;
+  snapshot["rounds"] = state.rounds;
+  snapshot["collisions"] = state.collisions;
+  snapshot["pending_free"] = state.pending_free;
+  snapshot["collision_pending"] = state.collision_pending;
   return snapshot;
 }
 
-void multibatch_engine::restore_state(const json& snapshot) {
+multibatch_snapshot parse_multibatch_snapshot(const json& snapshot,
+                                              std::size_t width,
+                                              std::uint64_t n,
+                                              std::size_t num_states) {
   const char* where = "multibatch snapshot";
   json_require_keys(snapshot,
                     {"state_version", "engine", "interactions", "rng",
@@ -81,51 +90,87 @@ void multibatch_engine::restore_state(const json& snapshot) {
                      "rounds", "collisions", "pending_free",
                      "collision_pending"},
                     where);
-  const auto core = check_snapshot_envelope(snapshot);
-  const auto counts = json_require_uint_array(snapshot, "counts", where);
-  const auto untouched = json_require_uint_array(snapshot, "untouched", where);
-  const auto touched = json_require_uint_array(snapshot, "touched", where);
-  PPG_CHECK(counts.size() == counts_.size() &&
-                untouched.size() == counts_.size() &&
-                touched.size() == counts_.size(),
+  const std::uint64_t version =
+      json_require_uint(snapshot, "state_version", where);
+  PPG_CHECK(version == engine_state_version,
+            "multibatch snapshot: unsupported state_version " +
+                std::to_string(version) + " (this build reads " +
+                std::to_string(engine_state_version) + ")");
+  const std::string& name = json_require_string(snapshot, "engine", where);
+  PPG_CHECK(name == engine_kind_name(engine_kind::multibatch),
+            "multibatch snapshot: engine kind is '" + name + "'");
+  multibatch_snapshot state;
+  state.interactions = json_require_uint(snapshot, "interactions", where);
+  const auto words = json_require_uint_array(snapshot, "rng", where);
+  PPG_CHECK(words.size() == 4,
+            "multibatch snapshot: rng state must be 4 words of 64 bits");
+  state.gen.restore({words[0], words[1], words[2], words[3]});
+  state.counts = json_require_uint_array(snapshot, "counts", where);
+  state.untouched = json_require_uint_array(snapshot, "untouched", where);
+  state.touched = json_require_uint_array(snapshot, "touched", where);
+  PPG_CHECK(state.counts.size() == width &&
+                state.untouched.size() == width &&
+                state.touched.size() == width,
             "multibatch snapshot: state-space width mismatch");
-  const std::uint64_t untouched_total =
+  state.untouched_total =
       json_require_uint(snapshot, "untouched_total", where);
-  const std::uint64_t pending_free =
-      json_require_uint(snapshot, "pending_free", where);
-  const bool collision_pending =
+  state.rounds = json_require_uint(snapshot, "rounds", where);
+  state.collisions = json_require_uint(snapshot, "collisions", where);
+  state.pending_free = json_require_uint(snapshot, "pending_free", where);
+  state.collision_pending =
       json_require_bool(snapshot, "collision_pending", where);
   std::uint64_t total = 0;
   std::uint64_t untouched_sum = 0;
-  for (std::size_t s = 0; s < counts.size(); ++s) {
-    PPG_CHECK(s < kernel_->num_states() || counts[s] == 0,
+  for (std::size_t s = 0; s < width; ++s) {
+    PPG_CHECK(s < num_states || state.counts[s] == 0,
               "multibatch snapshot: agents in states outside the protocol's "
               "space");
-    PPG_CHECK(untouched[s] + touched[s] == counts[s],
+    PPG_CHECK(state.untouched[s] + state.touched[s] == state.counts[s],
               "multibatch snapshot: pools do not partition the census");
-    total += counts[s];
-    untouched_sum += untouched[s];
+    total += state.counts[s];
+    untouched_sum += state.untouched[s];
   }
-  PPG_CHECK(total == n_, "multibatch snapshot: population size mismatch");
-  PPG_CHECK(untouched_sum == untouched_total,
+  PPG_CHECK(total == n, "multibatch snapshot: population size mismatch");
+  PPG_CHECK(untouched_sum == state.untouched_total,
             "multibatch snapshot: untouched_total disagrees with the pool");
-  PPG_CHECK(collision_pending || pending_free == 0,
+  PPG_CHECK(state.collision_pending || state.pending_free == 0,
             "multibatch snapshot: residual carry outside a round");
-  PPG_CHECK(collision_pending || untouched_total == n_,
+  PPG_CHECK(state.collision_pending || state.untouched_total == n,
             "multibatch snapshot: touched agents outside a round");
-  PPG_CHECK(2 * pending_free <= untouched_total,
+  PPG_CHECK(2 * state.pending_free <= state.untouched_total,
             "multibatch snapshot: residual free run exceeds the untouched "
             "pool");
-  counts_ = counts;
-  untouched_ = untouched;
-  touched_ = touched;
-  untouched_total_ = untouched_total;
-  pending_free_ = pending_free;
-  collision_pending_ = collision_pending;
-  rounds_ = json_require_uint(snapshot, "rounds", where);
-  collisions_ = json_require_uint(snapshot, "collisions", where);
-  interactions_ = core.interactions;
-  gen_ = core.gen;
+  return state;
+}
+
+json multibatch_engine::save_state() const {
+  multibatch_snapshot state;
+  state.counts = counts_;
+  state.untouched = untouched_;
+  state.touched = touched_;
+  state.untouched_total = untouched_total_;
+  state.interactions = interactions_;
+  state.rounds = rounds_;
+  state.collisions = collisions_;
+  state.pending_free = pending_free_;
+  state.collision_pending = collision_pending_;
+  state.gen = gen_;
+  return dump_multibatch_snapshot(state);
+}
+
+void multibatch_engine::restore_state(const json& snapshot) {
+  auto state = parse_multibatch_snapshot(snapshot, counts_.size(), n_,
+                                         kernel_->num_states());
+  counts_ = std::move(state.counts);
+  untouched_ = std::move(state.untouched);
+  touched_ = std::move(state.touched);
+  untouched_total_ = state.untouched_total;
+  pending_free_ = state.pending_free;
+  collision_pending_ = state.collision_pending;
+  rounds_ = state.rounds;
+  collisions_ = state.collisions;
+  interactions_ = state.interactions;
+  gen_ = state.gen;
 }
 
 void multibatch_engine::step() { run(1); }

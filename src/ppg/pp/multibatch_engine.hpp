@@ -144,4 +144,34 @@ class multibatch_engine final : public sim_engine {
   multibatch_executor executor_;  ///< the shared round core
 };
 
+/// One multibatch engine's complete dynamical state, decoded from or
+/// encoded into the solo v1 snapshot schema (DESIGN.md §9). This is also
+/// the ensemble engine's per-replica serialization unit: each entry of an
+/// ensemble snapshot's "replicas" array is exactly this schema, so a
+/// replica's entry restores into a solo engine and a solo snapshot slots
+/// into an ensemble (DESIGN.md §11).
+struct multibatch_snapshot {
+  std::vector<std::uint64_t> counts;
+  std::vector<std::uint64_t> untouched;
+  std::vector<std::uint64_t> touched;
+  std::uint64_t untouched_total = 0;
+  std::uint64_t interactions = 0;
+  std::uint64_t rounds = 0;
+  std::uint64_t collisions = 0;
+  std::uint64_t pending_free = 0;
+  bool collision_pending = false;
+  rng gen;
+};
+
+/// Serializes to the solo multibatch schema, canonical key order.
+[[nodiscard]] json dump_multibatch_snapshot(const multibatch_snapshot& state);
+
+/// Parses and validates a solo multibatch snapshot: exact key set, known
+/// state_version, engine == "multibatch", width/population/state-space
+/// agreement, and the round-state invariants (pools partition the census,
+/// residual carry consistent). Throws invariant_error on any violation.
+[[nodiscard]] multibatch_snapshot parse_multibatch_snapshot(
+    const json& snapshot, std::size_t width, std::uint64_t n,
+    std::size_t num_states);
+
 }  // namespace ppg

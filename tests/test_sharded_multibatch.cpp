@@ -21,6 +21,8 @@
 #include "ppg/pp/ensemble_engine.hpp"
 #include "ppg/pp/multibatch_engine.hpp"
 #include "ppg/pp/multibatch_round.hpp"
+#include "ppg/util/error.hpp"
+#include "ppg/util/json.hpp"
 #include "ppg/util/rng.hpp"
 
 namespace ppg {
@@ -200,6 +202,135 @@ TEST(EnsembleEngine, TimeAveragedCensusBitwiseEqualsTheReplicatePath) {
   for (std::size_t j = 0; j < solo_mean.size(); ++j) {
     EXPECT_EQ(ensemble_mean[j], solo_mean[j]) << "coordinate " << j;
   }
+}
+
+TEST(EnsembleEngine, SaveRestoreResumesBitExactly) {
+  const auto proto = dense_proto();
+  const std::uint64_t n = 100'000;
+  const std::uint64_t master = 4711;
+  const std::size_t replicas = 5;
+
+  // The uninterrupted twin runs the whole schedule in one life.
+  ensemble_engine reference(proto, half_split(n), master, replicas);
+  reference.set_threads(3);
+  reference.run(30'000);
+
+  // The checkpointed copy saves mid-schedule; the snapshot crosses a
+  // dump/parse byte boundary, exactly like a file or wire round trip.
+  ensemble_engine source(proto, half_split(n), master, replicas);
+  source.run(17'123);  // odd chunk: replicas park mid-round
+  const json snapshot =
+      json::parse(source.save_state().dump_string(false));
+
+  // Restore into an ensemble built from a different master seed at a
+  // different thread count: the snapshot's RNG positions must win, and
+  // the continuation must match the twin bit for bit under the remaining
+  // schedule (run(a); run(b) == run(a+b) does NOT hold for multibatch, so
+  // the chunk boundaries are aligned: 17'123 + 12'877 = 30'000).
+  ensemble_engine resumed(proto, half_split(n), master + 999, replicas);
+  resumed.set_threads(2);
+  resumed.restore_state(snapshot);
+  EXPECT_EQ(resumed.master_seed(), master);
+  source.run(12'877);
+  resumed.run(12'877);
+  for (std::size_t r = 0; r < replicas; ++r) {
+    EXPECT_EQ(resumed.replica_census(r), source.replica_census(r))
+        << "replica " << r;
+    EXPECT_EQ(resumed.interactions(r), source.interactions(r));
+  }
+  EXPECT_EQ(resumed.save_state().dump_string(false),
+            source.save_state().dump_string(false));
+
+  // And both equal the uninterrupted twin under the same chunk schedule.
+  ensemble_engine twin(proto, half_split(n), master, replicas);
+  twin.run(17'123);
+  twin.run(12'877);
+  EXPECT_EQ(resumed.save_state().dump_string(false),
+            twin.save_state().dump_string(false));
+}
+
+TEST(EnsembleEngine, ReplicaSnapshotEntriesAreTheSoloSchema) {
+  const auto proto = dense_proto();
+  const std::uint64_t n = 100'000;
+  const std::uint64_t master = 3141;
+  const std::size_t replicas = 3;
+  const sim_spec spec(proto, half_split(n));
+  ensemble_engine ensemble(proto, half_split(n), master, replicas);
+  ensemble.run(23'456);
+  const json snapshot = ensemble.save_state();
+  const auto& entries =
+      json_require_array(snapshot, "replicas", "ensemble snapshot");
+  ASSERT_EQ(entries.size(), replicas);
+  for (std::size_t r = 0; r < replicas; ++r) {
+    // Replica r's entry is byte-identical to the snapshot of the solo
+    // multibatch engine it twins — the schemas are shared, not parallel.
+    rng gen = make_stream_rng(master, r);
+    const auto solo = spec.make_engine(engine_kind::multibatch, gen);
+    solo->run(23'456);
+    EXPECT_EQ(entries[r].dump_string(false),
+              solo->save_state().dump_string(false))
+        << "replica " << r;
+    // And it restores into a solo engine directly.
+    rng fresh(1);
+    auto other = spec.make_engine(engine_kind::multibatch, fresh);
+    other->restore_state(entries[r]);
+    EXPECT_EQ(other->census().counts(), ensemble.replica_census(r));
+  }
+}
+
+/// Copies an ensemble snapshot, replacing its "replicas" array — the json
+/// type is append-only, so tampering rebuilds rather than mutates in place.
+json with_replicas(const json& snapshot, const std::vector<json>& entries) {
+  json copy = json::object();
+  for (const auto& [key, value] : snapshot.members()) {
+    if (key == "replicas") {
+      json replaced = json::array();
+      for (const auto& entry : entries) replaced.push_back(entry);
+      copy[key] = std::move(replaced);
+    } else {
+      copy[key] = value;
+    }
+  }
+  return copy;
+}
+
+TEST(EnsembleEngine, RestoreRejectsTamperedSnapshots) {
+  const auto proto = dense_proto();
+  const std::uint64_t n = 10'000;
+  ensemble_engine ensemble(proto, half_split(n), 55, 2);
+  ensemble.run(5'000);
+  const json good = ensemble.save_state();
+  const std::string before = good.dump_string(false);
+  const auto& entries =
+      json_require_array(good, "replicas", "ensemble snapshot");
+
+  json wrong_version = good;
+  wrong_version["state_version"] = std::uint64_t{99};
+  EXPECT_THROW(ensemble.restore_state(wrong_version), invariant_error);
+
+  json wrong_engine = good;
+  wrong_engine["engine"] = "multibatch";
+  EXPECT_THROW(ensemble.restore_state(wrong_engine), invariant_error);
+
+  json missing_key = json::object();
+  for (const auto& [key, value] : good.members()) {
+    if (key != "master_seed") missing_key[key] = value;
+  }
+  EXPECT_THROW(ensemble.restore_state(missing_key), invariant_error);
+
+  const json wrong_replicas = with_replicas(good, {entries[0]});
+  EXPECT_THROW(ensemble.restore_state(wrong_replicas), invariant_error);
+
+  // A per-replica violation (pools no longer partition the census) is
+  // caught by the shared solo validation, and the failed restore leaves
+  // the ensemble untouched.
+  auto counts = json_require_uint_array(entries[1], "counts", "replica");
+  counts[0] += 1;
+  json bad_entry = entries[1];
+  bad_entry["counts"] = json_uint_array(counts);
+  const json bad_pools = with_replicas(good, {entries[0], bad_entry});
+  EXPECT_THROW(ensemble.restore_state(bad_pools), invariant_error);
+  EXPECT_EQ(ensemble.save_state().dump_string(false), before);
 }
 
 TEST(EnsembleEngine, AgreesInDistributionWithAllFourEngines) {

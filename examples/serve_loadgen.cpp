@@ -1,0 +1,158 @@
+// Load generator / crash-tolerance driver for a live ppg-serve daemon:
+// S worker threads each own one durable session and push it through R
+// rounds of advances using the retrying client (ppg/serve/client.hpp).
+// Because every worker goes through session_handle, the daemon may be
+// killed and rebooted mid-run — workers reconcile or restore from their
+// last checkpoint and keep going; the summary reports how often they had
+// to.
+//
+// Run a daemon first, e.g.:
+//   ./build/serve/ppg-serve --port 8080 --store /tmp/ppg-store &
+//   ./build/examples/serve_loadgen --port 8080 --sessions 8 --rounds 20
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ppg/serve/client.hpp"
+
+namespace {
+
+struct worker_report {
+  bool ok = false;
+  std::uint64_t rounds_done = 0;
+  std::uint64_t recoveries = 0;
+  ppg::client_stats transport;
+  std::string error;
+};
+
+[[noreturn]] void usage_error(const std::string& message) {
+  std::cerr << "serve_loadgen: " << message << "\n"
+            << "usage: serve_loadgen --port N [--sessions S] [--rounds R]\n"
+            << "                     [--interactions N] [--seed N]\n"
+            << "                     [--checkpoint-every K]\n";
+  std::exit(2);
+}
+
+std::uint64_t parse_count(const std::string& flag, const char* text) {
+  if (text == nullptr) usage_error(flag + " needs a value");
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') {
+    usage_error(flag + ": '" + text + "' is not a number");
+  }
+  return value;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint16_t port = 0;
+  std::uint64_t sessions = 4;
+  std::uint64_t rounds = 10;
+  std::uint64_t interactions = 20'000;
+  std::uint64_t seed = 1;
+  std::uint64_t checkpoint_every = 4;  ///< refresh checkpoint every K rounds
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const char* value = i + 1 < argc ? argv[i + 1] : nullptr;
+    if (flag == "--port") {
+      port = static_cast<std::uint16_t>(parse_count(flag, value));
+      ++i;
+    } else if (flag == "--sessions") {
+      sessions = parse_count(flag, value);
+      ++i;
+    } else if (flag == "--rounds") {
+      rounds = parse_count(flag, value);
+      ++i;
+    } else if (flag == "--interactions") {
+      interactions = parse_count(flag, value);
+      ++i;
+    } else if (flag == "--seed") {
+      seed = parse_count(flag, value);
+      ++i;
+    } else if (flag == "--checkpoint-every") {
+      checkpoint_every = parse_count(flag, value);
+      ++i;
+    } else {
+      usage_error("unknown flag '" + flag + "'");
+    }
+  }
+  if (port == 0) usage_error("--port is required");
+  if (sessions == 0 || rounds == 0 || interactions == 0) {
+    usage_error("--sessions, --rounds, and --interactions must be >= 1");
+  }
+
+  const char* recipe_text =
+      R"({"protocol": {"name": "approximate-majority", "params": {}},
+          "initial_counts": [6000, 4000, 0], "sampling": "distinct"})";
+  const ppg::json recipe = ppg::json::parse(recipe_text);
+
+  std::vector<worker_report> reports(sessions);
+  std::vector<std::thread> workers;
+  workers.reserve(sessions);
+  const auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t w = 0; w < sessions; ++w) {
+    workers.emplace_back([&, w] {
+      worker_report& report = reports[w];
+      try {
+        ppg::client_config config;
+        config.port = port;
+        config.jitter_seed = seed * 1000 + w;
+        ppg::serve_client client(config);
+        ppg::session_handle session = ppg::session_handle::create(
+            client, recipe, "multibatch", seed + w);
+        for (std::uint64_t round = 1; round <= rounds; ++round) {
+          session.advance(interactions);
+          ++report.rounds_done;
+          if (checkpoint_every != 0 && round % checkpoint_every == 0) {
+            session.refresh_checkpoint();
+          }
+        }
+        report.recoveries = session.recoveries();
+        report.transport = client.stats();
+        report.ok = true;
+      } catch (const std::exception& error) {
+        report.error = error.what();
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  std::uint64_t rounds_done = 0;
+  std::uint64_t recoveries = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t reconnects = 0;
+  std::uint64_t failed = 0;
+  for (const worker_report& report : reports) {
+    rounds_done += report.rounds_done;
+    recoveries += report.recoveries;
+    retries += report.transport.retries;
+    reconnects += report.transport.reconnects;
+    if (!report.ok) {
+      ++failed;
+      std::cerr << "serve_loadgen: worker failed: " << report.error << "\n";
+    }
+  }
+
+  const double session_rate =
+      elapsed > 0.0 ? static_cast<double>(sessions) / elapsed : 0.0;
+  const double advance_rate =
+      elapsed > 0.0 ? static_cast<double>(rounds_done) / elapsed : 0.0;
+  std::cout << "serve_loadgen: " << sessions << " sessions x " << rounds
+            << " rounds x " << interactions << " interactions in " << elapsed
+            << "s\n"
+            << "  sessions/sec:  " << session_rate << "\n"
+            << "  advances/sec:  " << advance_rate << "\n"
+            << "  recoveries:    " << recoveries << "\n"
+            << "  retries:       " << retries << "\n"
+            << "  reconnects:    " << reconnects << "\n"
+            << "  failed:        " << failed << "\n";
+  return failed == 0 ? 0 : 1;
+}

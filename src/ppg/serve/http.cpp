@@ -1,6 +1,7 @@
 #include "ppg/serve/http.hpp"
 
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -56,6 +57,8 @@ const char* http_status_reason(int status) {
       return "Not Found";
     case 405:
       return "Method Not Allowed";
+    case 408:
+      return "Request Timeout";
     case 409:
       return "Conflict";
     case 413:
@@ -79,17 +82,41 @@ http_connection::~http_connection() {
   if (fd_ >= 0) ::close(fd_);
 }
 
-bool http_connection::fill() {
+http_connection::fill_status http_connection::fill() {
   char chunk[4096];
   for (;;) {
-    const ssize_t got = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (limits_.read_timeout_ms > 0) {
+      pollfd waiter{};
+      waiter.fd = fd_;
+      waiter.events = POLLIN;
+      const int ready = ::poll(&waiter, 1, limits_.read_timeout_ms);
+      if (ready == 0) return fill_status::timed_out;
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        return fill_status::eof;
+      }
+    }
+    std::size_t want = sizeof(chunk);
+    if (faults_ != nullptr) {
+      switch (faults_->next("socket.read")) {
+        case fault_action::fail_eio:
+        case fault_action::fail_enospc:
+          return fill_status::eof;  // injected: the peer vanished mid-read
+        case fault_action::short_op:
+          want = faults_->short_size(want);
+          break;
+        default:
+          break;
+      }
+    }
+    const ssize_t got = ::recv(fd_, chunk, want, 0);
     if (got > 0) {
       buffer_.append(chunk, static_cast<std::size_t>(got));
-      return true;
+      return fill_status::data;
     }
-    if (got == 0) return false;  // orderly EOF
+    if (got == 0) return fill_status::eof;  // orderly EOF
     if (errno == EINTR) continue;
-    return false;  // socket error: treat as gone, nothing to answer
+    return fill_status::eof;  // socket error: treat as gone, nothing to answer
   }
 }
 
@@ -104,9 +131,21 @@ std::optional<http_request> http_connection::read_request() {
                                 std::to_string(limits_.max_header_bytes) +
                                 " bytes");
     }
-    if (!fill()) {
-      if (buffer_.empty()) return std::nullopt;  // clean EOF between requests
-      throw http_error(400, "connection closed mid-request");
+    switch (fill()) {
+      case fill_status::data:
+        break;
+      case fill_status::eof:
+        if (buffer_.empty()) {
+          return std::nullopt;  // clean EOF between requests
+        }
+        throw http_error(400, "connection closed mid-request");
+      case fill_status::timed_out:
+        if (buffer_.empty()) {
+          // Idle past the deadline with no request in flight: reap the
+          // connection silently (a slowloris peer never pins a worker).
+          return std::nullopt;
+        }
+        throw http_error(408, "read deadline exceeded mid-request");
     }
   }
   if (head_end > limits_.max_header_bytes) {
@@ -182,7 +221,14 @@ std::optional<http_request> http_connection::read_request() {
   }
   buffer_.erase(0, head_end + 4);
   while (buffer_.size() < body_size) {
-    if (!fill()) throw http_error(400, "connection closed mid-body");
+    switch (fill()) {
+      case fill_status::data:
+        break;
+      case fill_status::eof:
+        throw http_error(400, "connection closed mid-body");
+      case fill_status::timed_out:
+        throw http_error(408, "read deadline exceeded mid-body");
+    }
   }
   request.body = buffer_.substr(0, body_size);
   buffer_.erase(0, body_size);  // keep pipelined bytes for the next request
@@ -201,9 +247,32 @@ bool http_connection::write_response(const http_response& response,
 
   std::size_t sent = 0;
   while (sent < wire.size()) {
+    if (limits_.write_timeout_ms > 0) {
+      pollfd waiter{};
+      waiter.fd = fd_;
+      waiter.events = POLLOUT;
+      const int ready = ::poll(&waiter, 1, limits_.write_timeout_ms);
+      if (ready == 0) return false;  // peer stopped reading: drop it
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+    }
+    std::size_t want = wire.size() - sent;
+    if (faults_ != nullptr) {
+      switch (faults_->next("socket.write")) {
+        case fault_action::fail_eio:
+        case fault_action::fail_enospc:
+          return false;  // injected: the peer vanished mid-write
+        case fault_action::short_op:
+          want = faults_->short_size(want);
+          break;
+        default:
+          break;
+      }
+    }
     // MSG_NOSIGNAL: a vanished peer must surface as an error, not SIGPIPE.
-    const ssize_t wrote = ::send(fd_, wire.data() + sent, wire.size() - sent,
-                                 MSG_NOSIGNAL);
+    const ssize_t wrote = ::send(fd_, wire.data() + sent, want, MSG_NOSIGNAL);
     if (wrote < 0) {
       if (errno == EINTR) continue;
       return false;

@@ -15,12 +15,15 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <stdexcept>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
+
+#include "ppg/serve/faults.hpp"
 
 namespace ppg {
 
@@ -64,39 +67,56 @@ struct http_response {
 /// for anything unknown (the code is what matters on the wire).
 [[nodiscard]] const char* http_status_reason(int status);
 
-/// Per-connection read bounds, enforced before buffering.
+/// Per-connection read bounds, enforced before buffering, and the
+/// connection deadlines. A read deadline of 0 disables the timeout; with
+/// one set, a connection idle between requests past the deadline is
+/// *reaped* (closed silently — the keep-alive analogue of an idle-timeout
+/// reaper, so a slowloris peer cannot pin a worker), and a peer that
+/// stalls mid-request or mid-body is answered 408 and dropped. The write
+/// deadline bounds how long a response write may block on a peer that
+/// stopped reading.
 struct http_limits {
   std::size_t max_header_bytes = 16 * 1024;
   std::size_t max_body_bytes = 4u * 1024 * 1024;
+  int read_timeout_ms = 0;   ///< per-recv deadline; 0 = block forever
+  int write_timeout_ms = 0;  ///< per-send deadline; 0 = block forever
 };
 
 /// One accepted connection: owns the fd, buffers reads across keep-alive
 /// requests (bytes of a pipelined next request are kept, not dropped), and
-/// closes on destruction.
+/// closes on destruction. `faults` (nullable) injects deterministic short
+/// reads/writes and failures at the "socket.read"/"socket.write" sites.
 class http_connection {
  public:
-  http_connection(int fd, http_limits limits)
-      : fd_(fd), limits_(limits) {}
+  http_connection(int fd, http_limits limits,
+                  std::shared_ptr<fault_plan> faults = nullptr)
+      : fd_(fd), limits_(limits), faults_(std::move(faults)) {}
   ~http_connection();
 
   http_connection(const http_connection&) = delete;
   http_connection& operator=(const http_connection&) = delete;
 
   /// Reads one request. Returns nullopt on clean EOF (peer closed between
-  /// requests — the keep-alive loop's exit); throws http_error when the
-  /// peer sent something refusable mid-request.
+  /// requests — the keep-alive loop's exit) and on an *idle* read-deadline
+  /// expiry (nothing buffered: the reaper case); throws http_error when
+  /// the peer sent something refusable mid-request, including http_error
+  /// 408 when the deadline expires with a partial request buffered.
   [[nodiscard]] std::optional<http_request> read_request();
 
-  /// Writes a response; returns false when the peer is gone (EPIPE etc.),
-  /// which callers treat as end-of-connection, not an error.
+  /// Writes a response; returns false when the peer is gone (EPIPE etc.)
+  /// or stalled past the write deadline, which callers treat as
+  /// end-of-connection, not an error.
   bool write_response(const http_response& response, bool keep_alive);
 
  private:
-  /// recv() more bytes into buffer_; false on EOF or socket error.
-  bool fill();
+  enum class fill_status { data, eof, timed_out };
+
+  /// recv() more bytes into buffer_, honoring the read deadline.
+  fill_status fill();
 
   int fd_;
   http_limits limits_;
+  std::shared_ptr<fault_plan> faults_;
   std::string buffer_;
 };
 

@@ -1,25 +1,50 @@
 // ppg-serve: the simulation-session daemon. Binds 127.0.0.1 (loopback
 // only), prints the listening address, and serves until killed. See
-// DESIGN.md §10 and README "Running the service".
+// DESIGN.md §10/§13 and README "Running the service".
+//
+// Shutdown protocol: the first SIGTERM/SIGINT starts a graceful drain —
+// stop accepting, let in-flight advances finish their slices, spill every
+// durable session, exit. A second SIGTERM/SIGINT during the drain forces
+// an immediate exit that still spills every session not mid-advance (a
+// busy session's last periodic spill stands).
+//
+// Exit codes: 0 = clean shutdown (drain complete, or forced-but-spilled);
+// 1 = startup failure (bad port, unreadable store, bad fault plan);
+// 2 = usage error.
 #include <csignal>
+#include <ctime>
+
+#include <atomic>
 #include <cstdint>
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <thread>
 
+#include "ppg/serve/faults.hpp"
 #include "ppg/serve/server.hpp"
+#include "ppg/util/atomic_file.hpp"
+#include "ppg/util/json.hpp"
 
 namespace {
 
-volatile std::sig_atomic_t interrupted = 0;
+volatile std::sig_atomic_t termination_signals = 0;
 
-void handle_signal(int) { interrupted = 1; }
+void handle_signal(int) { ++termination_signals; }
 
 [[noreturn]] void usage_error(const std::string& message) {
-  std::cerr << "ppg-serve: " << message << "\n"
-            << "usage: ppg-serve [--port N] [--threads N] [--chunk N]\n"
-            << "                 [--connection-threads N] [--max-body BYTES]\n"
-            << "  --port 0 (default) picks an ephemeral port and prints it\n";
+  std::cerr
+      << "ppg-serve: " << message << "\n"
+      << "usage: ppg-serve [--port N] [--threads N] [--chunk N]\n"
+      << "                 [--connection-threads N] [--max-body BYTES]\n"
+      << "                 [--store DIR] [--spill-every CHUNKS]\n"
+      << "                 [--read-timeout-ms N] [--write-timeout-ms N]\n"
+      << "                 [--fault-plan JSON|@FILE]\n"
+      << "  --port 0 (default) picks an ephemeral port and prints it\n"
+      << "  --store DIR enables the durable session store (DESIGN.md §13)\n"
+      << "  --spill-every 0 spills only on idle transitions and drain\n"
+      << "  --read/write-timeout-ms 0 disables that connection deadline\n"
+      << "exit codes: 0 clean shutdown, 1 startup failure, 2 usage error\n";
   std::exit(2);
 }
 
@@ -31,6 +56,40 @@ std::uint64_t parse_count(const std::string& flag, const char* text) {
     usage_error(flag + ": '" + text + "' is not a number");
   }
   return value;
+}
+
+/// "--fault-plan '{...}'" inline, or "--fault-plan @plan.json" from a file.
+std::shared_ptr<ppg::fault_plan> parse_fault_plan(const char* text) {
+  if (text == nullptr) usage_error("--fault-plan needs a value");
+  std::string source = text;
+  if (!source.empty() && source[0] == '@') {
+    std::string bytes;
+    std::string error;
+    if (!ppg::read_file(source.substr(1), &bytes, &error)) {
+      std::cerr << "ppg-serve: --fault-plan: " << error << "\n";
+      std::exit(1);
+    }
+    source = std::move(bytes);
+  }
+  return ppg::fault_plan::parse(ppg::json::parse(source));
+}
+
+void install_signal_handlers() {
+  // sigaction, not std::signal: handler semantics are specified (no
+  // SA_RESETHAND surprises), and we pick SA_RESTART off so blocking calls
+  // on the main thread actually observe the signal.
+  struct sigaction action {};
+  action.sa_handler = handle_signal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;
+  sigaction(SIGTERM, &action, nullptr);
+  sigaction(SIGINT, &action, nullptr);
+  // A peer that vanished mid-write must surface as EPIPE, never kill the
+  // daemon (belt to http.cpp's MSG_NOSIGNAL braces).
+  struct sigaction ignore {};
+  ignore.sa_handler = SIG_IGN;
+  sigemptyset(&ignore.sa_mask);
+  sigaction(SIGPIPE, &ignore, nullptr);
 }
 
 }  // namespace
@@ -58,13 +117,47 @@ int main(int argc, char** argv) {
       config.max_body_bytes =
           static_cast<std::size_t>(parse_count(flag, value));
       ++i;
+    } else if (flag == "--store") {
+      if (value == nullptr) usage_error("--store needs a directory");
+      config.store_dir = value;
+      ++i;
+    } else if (flag == "--spill-every") {
+      config.spill_every_chunks = parse_count(flag, value);
+      ++i;
+    } else if (flag == "--read-timeout-ms") {
+      config.read_timeout_ms = static_cast<int>(parse_count(flag, value));
+      ++i;
+    } else if (flag == "--write-timeout-ms") {
+      config.write_timeout_ms = static_cast<int>(parse_count(flag, value));
+      ++i;
+    } else if (flag == "--fault-plan") {
+      try {
+        config.faults = parse_fault_plan(value);
+      } catch (const std::exception& error) {
+        std::cerr << "ppg-serve: --fault-plan: " << error.what() << "\n";
+        return 1;
+      }
+      ++i;
     } else {
       usage_error("unknown flag '" + flag + "'");
     }
   }
 
-  ppg::serve_app app(config);
-  ppg::http_server server(app, config);
+  install_signal_handlers();
+
+  std::unique_ptr<ppg::serve_app> app;
+  try {
+    app = std::make_unique<ppg::serve_app>(config);
+  } catch (const std::exception& error) {
+    std::cerr << "ppg-serve: " << error.what() << "\n";
+    return 1;
+  }
+  if (app->store() != nullptr) {
+    std::cout << "ppg-serve: durable store at " << config.store_dir
+              << std::endl;
+  }
+
+  ppg::http_server server(*app, config);
   try {
     server.start();
   } catch (const std::exception& error) {
@@ -76,15 +169,36 @@ int main(int argc, char** argv) {
   std::cout << "ppg-serve listening on 127.0.0.1:" << server.port()
             << std::endl;
 
-  std::signal(SIGINT, handle_signal);
-  std::signal(SIGTERM, handle_signal);
   sigset_t mask;
   sigemptyset(&mask);
-  while (interrupted == 0) {
+  while (termination_signals == 0) {
     sigsuspend(&mask);  // park until SIGINT/SIGTERM; connections run on
                         // their own threads
   }
-  std::cout << "ppg-serve: shutting down\n";
-  server.stop();
+
+  // Graceful drain on a helper thread so the main thread stays responsive
+  // to a second signal (impatient operators, supervisor kill escalation).
+  std::cout << "ppg-serve: draining (signal again to force shutdown)\n";
+  std::atomic<bool> drained{false};
+  std::thread drainer([&] {
+    server.stop();  // stop accepting; in-flight responses complete
+    app->drain();   // blocking per-session lock + final spill
+    drained.store(true);
+  });
+  while (!drained.load()) {
+    if (termination_signals >= 2) {
+      // Forced: spill whatever is not mid-advance and leave now. _Exit
+      // skips destructors — the drainer may hold session locks.
+      app->spill_all_unlocked_sessions();
+      std::cout << "ppg-serve: forced shutdown (sessions spilled)\n";
+      std::cout.flush();
+      std::_Exit(0);
+    }
+    timespec nap{};
+    nap.tv_nsec = 50'000'000;  // 50ms
+    nanosleep(&nap, nullptr);
+  }
+  drainer.join();
+  std::cout << "ppg-serve: drained, shutting down\n";
   return 0;
 }

@@ -3,6 +3,9 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
 #include <utility>
 
 #include "ppg/util/error.hpp"
@@ -42,10 +45,82 @@ std::pair<std::string, std::string> split_session_target(
 
 }  // namespace
 
-serve_app::serve_app(const serve_config& config)
+serve_app::serve_app(const serve_config& config,
+                     std::unique_ptr<session_store> store)
     : config_(config),
       sessions_(kernels_, config.max_sessions),
-      scheduler_(config.threads, config.chunk) {}
+      scheduler_(config.threads, config.chunk),
+      store_(std::move(store)) {
+  if (store_ == nullptr && !config_.store_dir.empty()) {
+    store_ = make_fs_store(config_.store_dir, config_.faults);
+  }
+  if (store_ != nullptr) recover_from_store();
+}
+
+void serve_app::recover_from_store() {
+  for (store_file& file : store_->scan().sessions) {
+    try {
+      auto session = sessions_.adopt(file.id, file.seed, file.checkpoint);
+      session->durable.store(true);
+      session->generation.store(file.generation);
+      recovered_.fetch_add(1);
+    } catch (const std::exception& error) {
+      // The envelope parsed but the checkpoint inside did not survive the
+      // strict restore (or the id collided): quarantine, keep booting.
+      (void)store_->quarantine(file.id, error.what());
+    }
+  }
+}
+
+void serve_app::spill_locked(serve_session& session) {
+  if (store_ == nullptr || !session.durable.load() ||
+      session.degraded.load()) {
+    return;
+  }
+  store_file file;
+  file.id = session.id;
+  file.generation = session.generation.load() + 1;
+  file.seed = session.seed;
+  file.checkpoint = save_checkpoint(session.recipe, *session.engine);
+  std::string error;
+  if (store_->spill(file, &error)) {
+    session.generation.store(file.generation);
+    session.chunks_since_spill = 0;
+  } else {
+    session.degraded.store(true);
+    degraded_.fetch_add(1);
+    std::cerr << "ppg-serve: warning: spill of session " << session.id
+              << " failed (" << error
+              << "); session degraded to non-durable\n";
+  }
+}
+
+void serve_app::make_durable(serve_session& session) {
+  if (store_ == nullptr) return;
+  const std::lock_guard<std::mutex> lock(session.mu);
+  session.durable.store(true);
+  spill_locked(session);  // generation 1: a crash right now loses nothing
+}
+
+void serve_app::drain() {
+  for (const auto& session : sessions_.snapshot()) {
+    // Blocking lock: an in-flight advance finishes its slices first.
+    const std::lock_guard<std::mutex> lock(session->mu);
+    if (session->chunks_since_spill > 0 || session->generation.load() == 0) {
+      spill_locked(*session);
+    }
+  }
+}
+
+void serve_app::spill_all_unlocked_sessions() {
+  for (const auto& session : sessions_.snapshot()) {
+    const std::unique_lock<std::mutex> lock(session->mu, std::try_to_lock);
+    if (!lock.owns_lock()) continue;  // mid-advance: its last spill stands
+    if (session->chunks_since_spill > 0 || session->generation.load() == 0) {
+      spill_locked(*session);
+    }
+  }
+}
 
 http_response serve_app::handle(const http_request& request) {
   requests_.fetch_add(1);
@@ -146,6 +221,9 @@ json session_summary(const serve_session& session) {
   body["fingerprint"] = session.fingerprint;
   body["kernel_cache_hit"] = session.kernel_cache_hit;
   body["restored"] = session.restored;
+  body["recovered"] = session.recovered;
+  body["durable"] = session.durable.load() && !session.degraded.load();
+  body["generation"] = session.generation.load();
   body["interactions"] = session.interactions.load();
   return body;
 }
@@ -172,6 +250,7 @@ http_response serve_app::create_session(const http_request& request) {
     seed = given->as_uint64();
   }
   auto session = sessions_.create(recipe, kind, seed);
+  make_durable(*session);
   json response = session_summary(*session);
   response["population"] = session->engine->population_size();
   return json_response(201, response);
@@ -179,6 +258,7 @@ http_response serve_app::create_session(const http_request& request) {
 
 http_response serve_app::restore_session(const http_request& request) {
   auto session = sessions_.restore(parse_body(request));
+  make_durable(*session);
   json response = session_summary(*session);
   response["population"] = session->engine->population_size();
   return json_response(201, response);
@@ -203,7 +283,37 @@ http_response serve_app::advance_session(serve_session& session,
   session.state.store(session_state::advancing);
   std::uint64_t slices = 0;
   try {
-    slices = scheduler_.advance(*session.engine, budget);
+    // The budget is split at multiples of the scheduler chunk, so the slice
+    // schedule — and therefore the trajectory (DESIGN.md §9) — is identical
+    // to an unsplit advance; the spill between pieces observes exactly the
+    // state an uninterrupted run passes through.
+    const std::uint64_t chunk = scheduler_.chunk();
+    const bool spilling = store_ != nullptr && session.durable.load() &&
+                          !session.degraded.load();
+    const std::uint64_t stride =
+        spilling && config_.spill_every_chunks > 0
+            ? config_.spill_every_chunks * chunk
+            : 0;
+    std::uint64_t remaining = budget;
+    while (remaining > 0) {
+      const std::uint64_t piece =
+          stride == 0 ? remaining : std::min(remaining, stride);
+      slices += scheduler_.advance(*session.engine, piece);
+      remaining -= piece;
+      if (spilling) {
+        session.chunks_since_spill += (piece + chunk - 1) / chunk;
+        if (stride != 0 &&
+            session.chunks_since_spill >= config_.spill_every_chunks) {
+          spill_locked(session);
+        }
+      }
+      if (config_.faults != nullptr) {
+        const std::uint64_t abort_at = config_.faults->abort_at_interactions();
+        if (abort_at != 0 && session.engine->interactions() >= abort_at) {
+          std::abort();  // injected crash (the recovery gate reboots us)
+        }
+      }
+    }
   } catch (...) {
     session.state.store(session_state::idle);
     throw;
@@ -212,6 +322,10 @@ http_response serve_app::advance_session(serve_session& session,
   session.advances.fetch_add(1);
   session.slices.fetch_add(slices);
   session.interactions.store(session.engine->interactions());
+  if (session.chunks_since_spill > 0) {
+    spill_locked(session);  // advancing → idle: the spill that makes an
+                            // idle session always recoverable as-is
+  }
 
   json response = json::object();
   response["id"] = session.id;
@@ -267,6 +381,7 @@ http_response serve_app::destroy_session(const std::string& id) {
   if (!sessions_.destroy(id)) {
     throw http_error(404, "no session '" + id + "'");
   }
+  if (store_ != nullptr) store_->remove(id);
   json body = json::object();
   body["id"] = id;
   body["destroyed"] = true;
@@ -289,6 +404,18 @@ http_response serve_app::stats() {
   cache["hits"] = kernels_.hits();
   cache["misses"] = kernels_.misses();
   body["kernel_cache"] = std::move(cache);
+
+  json durability = json::object();
+  durability["enabled"] = store_ != nullptr;
+  durability["recovered_sessions"] = recovered_.load();
+  durability["degraded_sessions"] = degraded_.load();
+  if (store_ != nullptr) {
+    const json store_stats = store_->stats();
+    for (const auto& [key, value] : store_stats.members()) {
+      durability[key] = value;
+    }
+  }
+  body["durability"] = std::move(durability);
 
   json sessions = json::array();
   for (const auto& session : sessions_.snapshot()) {
@@ -327,8 +454,10 @@ void http_server::stop() {
   if (acceptor_.joinable()) acceptor_.join();
   {
     const std::lock_guard<std::mutex> lock(mutex_);
-    // Unblock workers parked in recv(); they close the fds themselves.
-    for (const int fd : open_) ::shutdown(fd, SHUT_RDWR);
+    // SHUT_RD (not RDWR): a worker parked in recv() unblocks with EOF, but
+    // an in-flight response still reaches its client — stop() during a
+    // graceful drain never truncates an answer already being written.
+    for (const int fd : open_) ::shutdown(fd, SHUT_RD);
     for (const int fd : pending_) ::close(fd);
     pending_.clear();
     pending_ready_.notify_all();
@@ -374,7 +503,9 @@ void http_server::connection_loop() {
 void http_server::serve_connection(int fd) {
   http_limits limits;
   limits.max_body_bytes = config_.max_body_bytes;
-  http_connection connection(fd, limits);
+  limits.read_timeout_ms = config_.read_timeout_ms;
+  limits.write_timeout_ms = config_.write_timeout_ms;
+  http_connection connection(fd, limits, config_.faults);
   for (;;) {
     std::optional<http_request> request;
     try {

@@ -29,10 +29,12 @@
 #include <thread>
 #include <vector>
 
+#include "ppg/serve/faults.hpp"
 #include "ppg/serve/http.hpp"
 #include "ppg/serve/kernel_cache.hpp"
 #include "ppg/serve/scheduler.hpp"
 #include "ppg/serve/session.hpp"
+#include "ppg/serve/store.hpp"
 
 namespace ppg {
 
@@ -44,6 +46,25 @@ struct serve_config {
   std::size_t max_sessions = 1024;
   std::size_t max_body_bytes = 4u * 1024 * 1024;
   std::size_t max_json_depth = 64;
+
+  // Durability (DESIGN.md §13). With `store_dir` set, every session is
+  // spilled to disk — at creation, every `spill_every_chunks` scheduler
+  // chunks during an advance, and on every advancing → idle transition —
+  // and the daemon restores all spilled sessions under their original ids
+  // on boot. Empty = the pre-§13 in-memory-only behavior.
+  std::string store_dir;
+  std::uint64_t spill_every_chunks = 16;  ///< 0 = spill only on idle/drain
+
+  // Connection deadlines (0 = none): an idle keep-alive connection past
+  // the read deadline is reaped; a peer stalled mid-request gets 408; a
+  // peer that stops reading its response is dropped after the write
+  // deadline.
+  int read_timeout_ms = 30'000;
+  int write_timeout_ms = 30'000;
+
+  /// Deterministic fault schedule for the store and socket paths
+  /// (tests/chaos tooling); nullptr = no injected faults.
+  std::shared_ptr<fault_plan> faults;
 };
 
 /// The routing core. handle() is safe to call from any number of threads
@@ -51,14 +72,31 @@ struct serve_config {
 /// session answers 409 immediately).
 class serve_app {
  public:
-  explicit serve_app(const serve_config& config = {});
+  /// `store` overrides the store built from config.store_dir (injection
+  /// point for tests); with both empty/null the app is non-durable. When a
+  /// store is present the constructor scans it and restores every valid
+  /// spill under its original session id; corrupt spills are quarantined,
+  /// never fatal.
+  explicit serve_app(const serve_config& config = {},
+                     std::unique_ptr<session_store> store = nullptr);
 
   [[nodiscard]] http_response handle(const http_request& request);
+
+  /// Graceful-shutdown spill: waits for each session's in-flight advance
+  /// (blocking lock) and spills its latest state. Call after the HTTP
+  /// front end has stopped accepting.
+  void drain();
+
+  /// Forced-shutdown spill: spills every session that is not mid-advance
+  /// (try_lock, busy sessions skipped — their last periodic spill stands).
+  /// Safe to call concurrently with drain().
+  void spill_all_unlocked_sessions();
 
   [[nodiscard]] const serve_config& config() const { return config_; }
   [[nodiscard]] session_table& sessions() { return sessions_; }
   [[nodiscard]] kernel_cache& kernels() { return kernels_; }
   [[nodiscard]] fair_scheduler& scheduler() { return scheduler_; }
+  [[nodiscard]] session_store* store() { return store_.get(); }
 
  private:
   [[nodiscard]] http_response route(const http_request& request);
@@ -76,11 +114,23 @@ class serve_app {
   [[nodiscard]] http_response destroy_session(const std::string& id);
   [[nodiscard]] http_response stats();
 
+  /// Recovers every valid spill from the store (constructor path).
+  void recover_from_store();
+  /// Spills `session`'s current state; caller holds session.mu. A failed
+  /// spill degrades the session to non-durable (with a warning) instead of
+  /// failing the request — the daemon outlives its disk.
+  void spill_locked(serve_session& session);
+  /// Marks a fresh session durable and writes its generation-1 spill.
+  void make_durable(serve_session& session);
+
   serve_config config_;
   kernel_cache kernels_;
   session_table sessions_;
   fair_scheduler scheduler_;
+  std::unique_ptr<session_store> store_;
   std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> recovered_{0};  ///< sessions restored at boot
+  std::atomic<std::uint64_t> degraded_{0};   ///< sessions that lost durability
 };
 
 /// The socket front end: accepts connections on 127.0.0.1:port and feeds

@@ -1,5 +1,6 @@
 #include "ppg/serve/session.hpp"
 
+#include <cstdlib>
 #include <utility>
 
 #include "ppg/serve/http.hpp"
@@ -59,6 +60,21 @@ std::shared_ptr<serve_session> session_table::create(const json& recipe_doc,
 }
 
 std::shared_ptr<serve_session> session_table::restore(const json& checkpoint) {
+  return insert(build_restored(checkpoint));
+}
+
+std::shared_ptr<serve_session> session_table::adopt(const std::string& id,
+                                                    std::uint64_t seed,
+                                                    const json& checkpoint) {
+  PPG_CHECK(!id.empty(), "adopt: empty session id");
+  auto session = build_restored(checkpoint);
+  session->seed = seed;
+  session->recovered = true;
+  return insert(std::move(session), id);
+}
+
+std::shared_ptr<serve_session> session_table::build_restored(
+    const json& checkpoint) {
   // Resolve the shared kernel *before* restore_checkpoint so a restored
   // session joins the same warm-cache economy as a created one.
   const json& spec = json_require(checkpoint, "spec", "checkpoint");
@@ -89,18 +105,34 @@ std::shared_ptr<serve_session> session_table::restore(const json& checkpoint) {
   session->restored = true;
   session->engine = std::move(restored.engine);
   session->interactions.store(session->engine->interactions());
-  return insert(std::move(session));
+  return session;
 }
 
 std::shared_ptr<serve_session> session_table::insert(
-    std::shared_ptr<serve_session> session) {
+    std::shared_ptr<serve_session> session, const std::string& forced_id) {
   const std::lock_guard<std::mutex> lock(mutex_);
   if (sessions_.size() >= max_sessions_) {
     throw http_error(503, "session table full (" +
                               std::to_string(max_sessions_) +
                               " sessions); destroy one first");
   }
-  session->id = "s" + std::to_string(next_id_++);
+  if (forced_id.empty()) {
+    session->id = "s" + std::to_string(next_id_++);
+  } else {
+    for (const auto& existing : sessions_) {
+      PPG_CHECK(existing->id != forced_id,
+                "adopt: session id '" + forced_id + "' already exists");
+    }
+    session->id = forced_id;
+    // Keep the generator ahead of any adopted "s<n>" id so future creates
+    // never collide with a recovered session.
+    if (forced_id.size() > 1 && forced_id[0] == 's' &&
+        forced_id.find_first_not_of("0123456789", 1) == std::string::npos) {
+      const std::uint64_t numeric =
+          std::strtoull(forced_id.c_str() + 1, nullptr, 10);
+      if (numeric >= next_id_) next_id_ = numeric + 1;
+    }
+  }
   sessions_.push_back(session);
   return session;
 }

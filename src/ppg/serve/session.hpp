@@ -36,7 +36,16 @@ struct serve_session {
   std::uint64_t fingerprint = 0;  ///< recipe_fingerprint (session identity)
   bool kernel_cache_hit = false;  ///< kernel came warm from the cache
   bool restored = false;          ///< born from POST /sessions/restore
+  bool recovered = false;         ///< resurrected from the durable store
   std::unique_ptr<sim_engine> engine;
+
+  // Durability bookkeeping (DESIGN.md §13). The spill cursor is only
+  // touched under `mu` (during advance / drain); the flags and `generation`
+  // are atomics so /stats reads them lock-free.
+  std::atomic<bool> durable{false};  ///< spills to the store (off = no store)
+  std::atomic<bool> degraded{false};  ///< a spill failed; durability is off
+  std::atomic<std::uint64_t> generation{0};  ///< last spilled generation
+  std::uint64_t chunks_since_spill = 0;      ///< advance chunks not yet spilled
 
   std::mutex mu;  ///< engine exclusivity; try_lock → 409 when contended
   std::atomic<session_state> state{session_state::created};
@@ -74,6 +83,15 @@ class session_table {
   /// same kernel-cache path, engine state restored bit-exactly.
   std::shared_ptr<serve_session> restore(const json& checkpoint);
 
+  /// Resurrects a session from the durable store under its *original* id
+  /// (clients resume transparently after a daemon restart): the restore()
+  /// path plus a forced id. Throws invariant_error when the id is already
+  /// taken or malformed; future create() ids never collide with adopted
+  /// ones. `seed` is the creation seed recorded in the spill envelope.
+  std::shared_ptr<serve_session> adopt(const std::string& id,
+                                       std::uint64_t seed,
+                                       const json& checkpoint);
+
   /// The session for `id`, or nullptr when unknown (or already destroyed).
   [[nodiscard]] std::shared_ptr<serve_session> find(const std::string& id);
 
@@ -87,7 +105,15 @@ class session_table {
   [[nodiscard]] std::size_t size() const;
 
  private:
-  std::shared_ptr<serve_session> insert(std::shared_ptr<serve_session> session);
+  /// Builds a session from a checkpoint document (shared by restore and
+  /// adopt); the caller inserts it.
+  std::shared_ptr<serve_session> build_restored(const json& checkpoint);
+
+  /// Inserts with the next generated id ("s<n>") — or, when `forced_id` is
+  /// nonempty, under that id (bumping the generator past any "s<n>" form so
+  /// later creates cannot collide).
+  std::shared_ptr<serve_session> insert(std::shared_ptr<serve_session> session,
+                                        const std::string& forced_id = "");
 
   kernel_cache* kernels_;
   std::size_t max_sessions_;

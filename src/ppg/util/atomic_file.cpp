@@ -1,0 +1,130 @@
+#include "ppg/util/atomic_file.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace ppg {
+namespace {
+
+std::string errno_text(const char* step) {
+  return std::string(step) + ": " + std::strerror(errno);
+}
+
+/// The directory part of `path` ("." when there is none) — what must be
+/// fsynced for a rename inside it to survive a crash.
+std::string parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
+ssize_t file_ops::write_fd(int fd, const void* data, std::size_t size) {
+  return ::write(fd, data, size);
+}
+
+int file_ops::fsync_fd(int fd) { return ::fsync(fd); }
+
+int file_ops::rename_file(const std::string& from, const std::string& to) {
+  return ::rename(from.c_str(), to.c_str());
+}
+
+file_ops& default_file_ops() {
+  static file_ops ops;
+  return ops;
+}
+
+bool atomic_write_file(const std::string& path, std::string_view bytes,
+                       std::string* error, file_ops& ops) {
+  const std::string temp = path + ".tmp";
+  const int fd = ::open(temp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    if (error != nullptr) *error = errno_text("open temp");
+    return false;
+  }
+
+  std::size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t wrote =
+        ops.write_fd(fd, bytes.data() + written, bytes.size() - written);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      if (error != nullptr) *error = errno_text("write");
+      ::close(fd);
+      ::unlink(temp.c_str());
+      return false;
+    }
+    if (wrote == 0) {
+      // A zero-byte write that is not EOF-like progress would loop forever;
+      // treat it as the device refusing the data.
+      if (error != nullptr) *error = "write: no progress";
+      ::close(fd);
+      ::unlink(temp.c_str());
+      return false;
+    }
+    written += static_cast<std::size_t>(wrote);
+  }
+
+  if (ops.fsync_fd(fd) != 0) {
+    if (error != nullptr) *error = errno_text("fsync");
+    ::close(fd);
+    ::unlink(temp.c_str());
+    return false;
+  }
+  if (::close(fd) != 0) {
+    if (error != nullptr) *error = errno_text("close");
+    ::unlink(temp.c_str());
+    return false;
+  }
+
+  if (ops.rename_file(temp, path) != 0) {
+    if (error != nullptr) *error = errno_text("rename");
+    ::unlink(temp.c_str());
+    return false;
+  }
+
+  // fsync the directory so the rename (the commit point) is itself durable.
+  // Failure here is reported — the data likely survives, but the caller
+  // asked for a durability guarantee we cannot certify.
+  const int dir_fd = ::open(parent_dir(path).c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd < 0) {
+    if (error != nullptr) *error = errno_text("open dir");
+    return false;
+  }
+  const bool dir_synced = ops.fsync_fd(dir_fd) == 0;
+  if (!dir_synced && error != nullptr) *error = errno_text("fsync dir");
+  ::close(dir_fd);
+  return dir_synced;
+}
+
+bool read_file(const std::string& path, std::string* out, std::string* error) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (error != nullptr) *error = errno_text("open");
+    return false;
+  }
+  out->clear();
+  char chunk[65536];
+  for (;;) {
+    const ssize_t got = ::read(fd, chunk, sizeof(chunk));
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      if (error != nullptr) *error = errno_text("read");
+      ::close(fd);
+      return false;
+    }
+    if (got == 0) break;
+    out->append(chunk, static_cast<std::size_t>(got));
+  }
+  ::close(fd);
+  return true;
+}
+
+}  // namespace ppg

@@ -621,6 +621,34 @@ TEST(HttpServer, ServesSessionsOverRealSockets) {
   server.stop();
 }
 
+TEST(HttpServer, SlowlorisConnectionsAreReapedAndServiceContinues) {
+  serve_config config;
+  config.read_timeout_ms = 100;  // aggressive so the test is quick
+  serve_app app(config);
+  http_server server(app, config);
+  server.start();
+  {
+    // Idle keep-alive connection: reaped silently once the deadline lapses
+    // — no 4xx noise, the worker just moves on.
+    test_client idle(server.port());
+    EXPECT_EQ(idle.read_response(), "");
+  }
+  {
+    // A peer stalled mid-request (classic slowloris: head never finishes)
+    // is answered 408 and dropped instead of pinning a worker forever.
+    test_client slow(server.port());
+    slow.send_all("GET /healthz HTTP/1.1\r\n");  // no terminating blank line
+    const std::string response = slow.read_response();
+    EXPECT_NE(response.find("408"), std::string::npos) << response;
+  }
+  // The reaper freed the workers: a well-behaved client is served as usual.
+  test_client healthy(server.port());
+  healthy.send_all(http_get("/healthz"));
+  EXPECT_NE(healthy.read_response().find("HTTP/1.1 200 OK"),
+            std::string::npos);
+  server.stop();
+}
+
 TEST(HttpServer, StopUnblocksIdleConnections) {
   serve_config config;
   serve_app app(config);
